@@ -1,0 +1,104 @@
+// Command ssdcharacterize runs the paper's characterization study
+// (Sections 2–4: Tables 1–5 and Figures 1, 3–11) on a fleet trace — a
+// file produced by ssdgen, or a freshly simulated fleet.
+//
+// Usage:
+//
+//	ssdcharacterize [-trace fleet.bin] [-seed 42] [-drives 300] [-plots]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssdfail/internal/experiments"
+	"ssdfail/internal/report"
+	"ssdfail/internal/smartio"
+	"ssdfail/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "binary trace file (empty = simulate)")
+		smartPath = flag.String("smart", "", "SMART daily-snapshot CSV (Backblaze-style) to import instead")
+		seed      = flag.Uint64("seed", 42, "simulation seed when no trace is given")
+		drives    = flag.Int("drives", 300, "drives per model when simulating")
+		horizon   = flag.Int("horizon", 2190, "horizon in days when simulating")
+		plots     = flag.Bool("plots", true, "render ASCII plots alongside tables")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+	)
+	flag.Parse()
+
+	ctx, err := buildContext(*tracePath, *smartPath, *seed, *drives, int32(*horizon), *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssdcharacterize:", err)
+		os.Exit(1)
+	}
+
+	show := func(tbl *report.Table, plot *report.Plot) {
+		fmt.Println(tbl.String())
+		if *plots && plot != nil {
+			plot.Render(os.Stdout, 64, 14)
+			fmt.Println()
+		}
+	}
+
+	fmt.Printf("fleet: %d drives, %d drive-days, %d swap events\n\n",
+		len(ctx.Fleet.Drives), ctx.Fleet.DriveDays(), len(ctx.An.Events))
+
+	show(experiments.Table1(ctx), nil)
+	show(experiments.Table2(ctx), nil)
+	show(experiments.Table3(ctx), nil)
+	show(experiments.Table4(ctx), nil)
+	show(experiments.Table5(ctx), nil)
+	show(experiments.Figure2(ctx), nil)
+	show(experiments.Figure1(ctx))
+	show(experiments.Figure3(ctx))
+	show(experiments.Figure4(ctx))
+	show(experiments.Figure5(ctx))
+	show(experiments.Figure6(ctx))
+	show(experiments.Figure7(ctx))
+	show(experiments.Figure8(ctx))
+	show(experiments.Figure9(ctx))
+	show(experiments.Figure10(ctx))
+	top, bottom := experiments.Figure11(ctx)
+	show(top, nil)
+	show(bottom, nil)
+	show(experiments.SurvivalAnalysis(ctx), nil)
+}
+
+// buildContext loads, imports, or simulates the fleet and wraps it in
+// an experiment context.
+func buildContext(tracePath, smartPath string, seed uint64, drives int, horizon int32, workers int) (*experiments.Context, error) {
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = seed
+	cfg.DrivesPerModel = drives
+	cfg.HorizonDays = horizon
+	cfg.Workers = workers
+	switch {
+	case smartPath != "":
+		f, err := os.Open(smartPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		fleet, err := smartio.ReadCSV(f, smartio.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return experiments.NewContextFromFleet(cfg, fleet)
+	case tracePath != "":
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		fleet, err := trace.ReadBinary(f)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.NewContextFromFleet(cfg, fleet)
+	}
+	return experiments.NewContext(cfg)
+}

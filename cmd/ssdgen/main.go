@@ -1,0 +1,79 @@
+// Command ssdgen generates a synthetic SSD fleet trace calibrated to the
+// statistics of "SSD Failures in the Field" (SC '19) and writes it to a
+// file in the binary (.bin) or CSV (.csv) trace format.
+//
+// Usage:
+//
+//	ssdgen -out fleet.bin [-seed 42] [-drives 300] [-horizon 2190] [-workers 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ssdfail/internal/failure"
+	"ssdfail/internal/fleetsim"
+	"ssdfail/internal/trace"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "fleet.bin", "output path (.bin or .csv)")
+		seed    = flag.Uint64("seed", 42, "generation seed")
+		drives  = flag.Int("drives", 300, "drives per MLC model (three models total)")
+		horizon = flag.Int("horizon", 2190, "trace length in days")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+	)
+	flag.Parse()
+
+	cfg := fleetsim.DefaultConfig(*seed, *drives)
+	cfg.HorizonDays = int32(*horizon)
+	if cfg.EarlyWindow >= cfg.HorizonDays-60 {
+		cfg.EarlyWindow = (cfg.HorizonDays - 60) / 3
+	}
+	cfg.Workers = *workers
+
+	start := time.Now()
+	fleet, _, err := fleetsim.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	genTime := time.Since(start)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	switch filepath.Ext(*out) {
+	case ".csv":
+		err = trace.WriteCSV(f, fleet)
+	default:
+		err = trace.WriteBinary(f, fleet)
+	}
+	if err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	an := failure.Analyze(fleet)
+	fmt.Printf("generated %d drives, %d drive-days in %v\n",
+		len(fleet.Drives), fleet.DriveDays(), genTime.Round(time.Millisecond))
+	fmt.Printf("swap events: %d (%.2f%% of drives failed at least once)\n",
+		len(an.Events), 100*float64(an.FailedDriveCount())/float64(len(fleet.Drives)))
+	fi, err := os.Stat(*out)
+	if err == nil {
+		fmt.Printf("wrote %s (%.1f MB)\n", *out, float64(fi.Size())/(1<<20))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssdgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,16 @@
+// Package ssdfail is a reproduction of "SSD Failures in the Field:
+// Symptoms, Causes, and Prediction Models" (Alter, Xue, Dimnaku, Smirni —
+// SC '19) as a Go library.
+//
+// The paper's proprietary Google trace is replaced by a calibrated fleet
+// simulator (internal/fleetsim); everything downstream — the failure
+// timeline reconstruction (internal/failure), the characterization
+// statistics (internal/stats), the feature pipeline (internal/dataset),
+// the six classifiers (internal/ml/...), and the evaluation harness
+// (internal/eval) — is implemented from scratch on the standard library.
+//
+// Start with internal/core for the high-level API, cmd/ssdreport to
+// regenerate every table and figure of the paper, and bench_test.go in
+// this directory for per-experiment benchmarks. See README.md, DESIGN.md
+// and EXPERIMENTS.md.
+package ssdfail

@@ -1,0 +1,147 @@
+// Fleetmonitor: an online monitoring scenario. A predictor is trained on
+// the trace up to a cutoff, then the final 90 days are replayed day by
+// day: each morning the monitor scores yesterday's reports and raises
+// alerts at two discrimination thresholds — a conservative "critical"
+// one (low false positive rate, as the paper recommends for production)
+// and a looser "warning" one. At the end it scores both against the
+// failures that actually happened, illustrating the paper's
+// threshold/recall trade-off (Figures 14–15) and its proactive-
+// management use case (early replacement, data migration).
+//
+//	go run ./examples/fleetmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssdfail/internal/core"
+	"ssdfail/internal/failure"
+	"ssdfail/internal/fleetsim"
+	"ssdfail/internal/trace"
+)
+
+const (
+	criticalThreshold = 0.90
+	warningThreshold  = 0.80
+	replayDays        = 90
+)
+
+func main() {
+	cfg := fleetsim.DefaultConfig(11, 200)
+	fleet, _, err := fleetsim.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	splitDay := cfg.HorizonDays - replayDays
+
+	// Train only on history before the replay window, so the monitor
+	// never sees the future.
+	past := truncateFleet(fleet, splitDay)
+	study := core.NewStudy(past)
+	pred, err := study.TrainPredictor(core.PredictorOptions{Lookahead: 3, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d drive-days before day %d\n\n", past.DriveDays(), splitDay)
+
+	// Ground truth for the replay window: failures happening inside it.
+	an := failure.Analyze(fleet)
+	failDay := map[int]int32{}
+	for i := range an.Events {
+		e := &an.Events[i]
+		if e.FailDay >= splitDay {
+			failDay[e.DriveIdx] = e.FailDay
+		}
+	}
+
+	warned := map[int]int32{}   // driveIdx -> first warning day
+	critical := map[int]int32{} // driveIdx -> first critical day
+	printed := 0
+	for day := splitDay; day < cfg.HorizonDays; day++ {
+		for di := range fleet.Drives {
+			d := &fleet.Drives[di]
+			j := d.RecordOn(day)
+			if j < 0 || !d.Days[j].Active() {
+				continue
+			}
+			var prev *trace.DayRecord
+			if j > 0 {
+				prev = &d.Days[j-1]
+			}
+			score := pred.ScoreRecord(&d.Days[j], prev)
+			if score >= warningThreshold {
+				if _, seen := warned[di]; !seen {
+					warned[di] = day
+				}
+			}
+			if score >= criticalThreshold {
+				if _, seen := critical[di]; !seen {
+					critical[di] = day
+					if printed < 10 {
+						printed++
+						fmt.Printf("day %4d: CRITICAL drive %-6d (%s, age %4dd, score %.3f)\n",
+							day, d.ID, d.Model, d.Days[j].Age, score)
+					}
+				}
+			}
+		}
+	}
+
+	evaluate := func(name string, alerts map[int]int32) {
+		caught, missed := 0, 0
+		var totalWarning int32
+		for di, fd := range failDay {
+			if ad, ok := alerts[di]; ok && ad <= fd {
+				caught++
+				totalWarning += fd - ad
+			} else {
+				missed++
+			}
+		}
+		falseAlerts := 0
+		for di := range alerts {
+			if _, failed := failDay[di]; !failed {
+				falseAlerts++
+			}
+		}
+		fmt.Printf("\n%s threshold:\n", name)
+		fmt.Printf("  caught before failure: %d of %d", caught, len(failDay))
+		if caught > 0 {
+			fmt.Printf(" (mean warning %.1f days)", float64(totalWarning)/float64(caught))
+		}
+		fmt.Printf("\n  false alerts:          %d (%.2f%% of %d monitored drives)\n",
+			falseAlerts, 100*float64(falseAlerts)/float64(len(fleet.Drives)), len(fleet.Drives))
+	}
+	fmt.Printf("\nreplay of final %d days: %d failures occurred\n", replayDays, len(failDay))
+	evaluate(fmt.Sprintf("critical (score >= %.2f)", criticalThreshold), critical)
+	evaluate(fmt.Sprintf("warning  (score >= %.2f)", warningThreshold), warned)
+	fmt.Println("\nthe trade-off mirrors the paper's Figure 14: conservative thresholds")
+	fmt.Println("protect against false alarms but catch mostly the loud (young) failures;")
+	fmt.Println("old failures are quieter and need looser thresholds or longer lookaheads.")
+}
+
+// truncateFleet returns a copy of the fleet with all records and swaps
+// after cutoff removed.
+func truncateFleet(f *trace.Fleet, cutoff int32) *trace.Fleet {
+	out := &trace.Fleet{Horizon: cutoff}
+	for i := range f.Drives {
+		d := f.Drives[i]
+		var nd trace.Drive
+		nd.ID, nd.Model = d.ID, d.Model
+		for _, r := range d.Days {
+			if r.Day < cutoff {
+				nd.Days = append(nd.Days, r)
+			}
+		}
+		for _, s := range d.Swaps {
+			if s.Day < cutoff {
+				nd.Swaps = append(nd.Swaps, s)
+			}
+		}
+		if len(nd.Days) > 0 || len(nd.Swaps) > 0 {
+			out.Drives = append(out.Drives, nd)
+		}
+	}
+	return out
+}

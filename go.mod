@@ -1,0 +1,3 @@
+module ssdfail
+
+go 1.22

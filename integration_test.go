@@ -1,0 +1,151 @@
+package ssdfail_test
+
+// End-to-end integration test: the full workflow a downstream user runs,
+// from generation through trace I/O, characterization, training,
+// predictor persistence, and fleet scoring.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssdfail/internal/core"
+	"ssdfail/internal/experiments"
+	"ssdfail/internal/failure"
+	"ssdfail/internal/fleetsim"
+	"ssdfail/internal/smartio"
+	"ssdfail/internal/sparepool"
+	"ssdfail/internal/trace"
+)
+
+func TestEndToEndWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test is slow")
+	}
+	dir := t.TempDir()
+
+	// 1. Generate and persist a fleet.
+	study, err := core.GenerateStudy(1234, 100)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	fleetPath := filepath.Join(dir, "fleet.bin")
+	if err := study.SaveFleet(fleetPath); err != nil {
+		t.Fatalf("save fleet: %v", err)
+	}
+
+	// 2. Reload and verify the reconstruction is identical.
+	reloaded, err := core.LoadStudy(fleetPath)
+	if err != nil {
+		t.Fatalf("load fleet: %v", err)
+	}
+	if len(reloaded.Analysis.Events) != len(study.Analysis.Events) {
+		t.Fatalf("event count changed across save/load: %d vs %d",
+			len(reloaded.Analysis.Events), len(study.Analysis.Events))
+	}
+
+	// 3. Run the characterization experiments on the loaded fleet.
+	cfg := experiments.DefaultConfig()
+	ctx, err := experiments.NewContextFromFleet(cfg, reloaded.Fleet)
+	if err != nil {
+		t.Fatalf("context: %v", err)
+	}
+	for name, tbl := range map[string]interface{ String() string }{
+		"table1":  experiments.Table1(ctx),
+		"table3":  experiments.Table3(ctx),
+		"table4":  experiments.Table4(ctx),
+		"table5":  experiments.Table5(ctx),
+		"figure2": experiments.Figure2(ctx),
+	} {
+		if out := tbl.String(); len(out) < 40 {
+			t.Errorf("%s suspiciously short:\n%s", name, out)
+		}
+	}
+
+	// 4. Train, persist, reload, and use a predictor.
+	pred, err := reloaded.TrainPredictor(core.PredictorOptions{
+		Lookahead: 2, Seed: 5, HoldoutFraction: 0.25,
+	})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	predPath := filepath.Join(dir, "predictor.bin")
+	if err := pred.Save(predPath); err != nil {
+		t.Fatalf("save predictor: %v", err)
+	}
+	loadedPred, err := core.LoadPredictor(predPath)
+	if err != nil {
+		t.Fatalf("load predictor: %v", err)
+	}
+	watch := loadedPred.Watchlist(reloaded, 0, 5)
+	if len(watch) != 5 {
+		t.Fatalf("watchlist = %d entries", len(watch))
+	}
+
+	// 5. Feed the reconstruction into the spare-pool planner.
+	spares, res, err := sparepool.MinimalSpares(reloaded.Analysis, 0.95, true)
+	if err != nil {
+		t.Fatalf("sparepool: %v", err)
+	}
+	if res.ServiceLevel < 0.95 {
+		t.Errorf("planner returned %d spares but service = %.3f", spares, res.ServiceLevel)
+	}
+
+	// 6. Round-trip a SMART import through the same pipeline.
+	smartCSV := "date,serial_number,model,failure,smart_241_raw,smart_187_raw\n" +
+		"2024-01-01,A1,M,0,100,0\n" +
+		"2024-01-02,A1,M,0,200,3\n" +
+		"2024-01-03,A1,M,1,210,9\n"
+	fleet2, err := smartio.ReadCSV(strings.NewReader(smartCSV), smartio.Options{})
+	if err != nil {
+		t.Fatalf("smart import: %v", err)
+	}
+	an2 := failure.Analyze(fleet2)
+	if len(an2.Events) != 1 {
+		t.Fatalf("smart events = %d", len(an2.Events))
+	}
+	if s := loadedPred.ScoreDrive(&fleet2.Drives[0]); s < 0 || s > 1 {
+		t.Fatalf("smart-drive score = %v", s)
+	}
+
+	// 7. CSV trace export/import agrees with the binary format.
+	csvPath := filepath.Join(dir, "fleet.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f, reloaded.Fleet); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f, err = os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromCSV.DriveDays() != reloaded.Fleet.DriveDays() {
+		t.Fatalf("CSV round trip changed drive-days: %d vs %d",
+			fromCSV.DriveDays(), reloaded.Fleet.DriveDays())
+	}
+}
+
+func TestGeneratedFleetMatchesScaleKnobs(t *testing.T) {
+	cfg := fleetsim.DefaultConfig(9, 30)
+	cfg.HorizonDays = 800
+	cfg.EarlyWindow = 200
+	fleet, truth, err := fleetsim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Drives) != 90 || len(truth.Drives) != 90 {
+		t.Fatalf("scale mismatch: %d drives", len(fleet.Drives))
+	}
+	if fleet.Horizon != 800 {
+		t.Fatalf("horizon = %d", fleet.Horizon)
+	}
+}

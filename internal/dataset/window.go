@@ -1,0 +1,69 @@
+package dataset
+
+import "ssdfail/internal/trace"
+
+// Trailing-window features — an extension beyond the paper (its stated
+// future work is improving prediction for large lookahead N using drive
+// activity over time, §7). Each row gains aggregates over the trailing
+// WindowDays of reports, giving the models a short history instead of a
+// single day.
+
+// Window feature offsets, relative to NumFeatures.
+const (
+	WReportDays = iota // reports seen in the window
+	WActiveDays        // of which active (reads or writes)
+	WSumWrites
+	WSumReads
+	WSumCorrectable
+	WSumUncorrectable
+	WSumFinalRead
+	WSumErase
+	WSumNonTransparent
+	WGrownBBDelta // grown bad blocks added across the window
+	NumWindowFeatures
+)
+
+// WindowFeatureNames returns display names for the window features.
+func WindowFeatureNames() []string {
+	return []string{
+		"window report days", "window active days", "window writes",
+		"window reads", "window correctable", "window uncorrectable",
+		"window final read", "window erase err", "window non-transparent",
+		"window bad block delta",
+	}
+}
+
+// AllFeatureNames returns the names for a matrix of the given width:
+// the standard features, optionally followed by the window block.
+func AllFeatureNames(width int) []string {
+	names := FeatureNames()
+	if width > NumFeatures {
+		names = append(names, WindowFeatureNames()...)
+	}
+	return names[:width]
+}
+
+// appendWindow computes the trailing-window aggregates for record j of
+// drive d (the window covers days (Day[j]-windowDays, Day[j]]).
+func (m *Matrix) appendWindow(d *trace.Drive, j int, windowDays int32) {
+	var w [NumWindowFeatures]float64
+	r := &d.Days[j]
+	firstBB := r.GrownBadBlocks
+	for k := j; k >= 0 && d.Days[k].Day > r.Day-windowDays; k-- {
+		rec := &d.Days[k]
+		w[WReportDays]++
+		if rec.Active() {
+			w[WActiveDays]++
+		}
+		w[WSumWrites] += float64(rec.Writes)
+		w[WSumReads] += float64(rec.Reads)
+		w[WSumCorrectable] += float64(rec.Errors[trace.ErrCorrectable])
+		w[WSumUncorrectable] += float64(rec.Errors[trace.ErrUncorrectable])
+		w[WSumFinalRead] += float64(rec.Errors[trace.ErrFinalRead])
+		w[WSumErase] += float64(rec.Errors[trace.ErrErase])
+		w[WSumNonTransparent] += float64(rec.NonTransparentErrors())
+		firstBB = rec.GrownBadBlocks
+	}
+	w[WGrownBBDelta] = float64(r.GrownBadBlocks - firstBB)
+	m.X = append(m.X, w[:]...)
+}

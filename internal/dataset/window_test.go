@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"testing"
+
+	"ssdfail/internal/failure"
+	"ssdfail/internal/trace"
+)
+
+// windowFleet builds one drive with a known error/activity history.
+func windowFleet() (*trace.Fleet, *failure.Analysis) {
+	d := trace.Drive{ID: 1, Model: trace.MLCA}
+	// Days 10..16, with UEs on days 12 and 15, a gap at 13, growing bad
+	// blocks, and day 14 idle.
+	add := func(day int32, writes uint64, ue uint32, grown uint32) {
+		var rec trace.DayRecord
+		rec.Day = day
+		rec.Age = day - 10
+		rec.Writes = writes
+		rec.Reads = writes / 2
+		rec.Errors[trace.ErrUncorrectable] = ue
+		rec.CumErrors[trace.ErrUncorrectable] = 1000 // cumulative, not asserted here
+		rec.GrownBadBlocks = grown
+		d.Days = append(d.Days, rec)
+	}
+	add(10, 100, 0, 0)
+	add(11, 100, 0, 1)
+	add(12, 100, 5, 2)
+	add(14, 0, 0, 2) // idle day
+	add(15, 100, 3, 4)
+	add(16, 100, 0, 4)
+	f := &trace.Fleet{Horizon: 100, Drives: []trace.Drive{d}}
+	return f, failure.Analyze(f)
+}
+
+func TestWindowedExtractWidth(t *testing.T) {
+	f, an := windowFleet()
+	m := Extract(f, an, Options{Lookahead: 1, AgeMax: -1, WindowDays: 3})
+	if m.W() != NumFeatures+NumWindowFeatures {
+		t.Fatalf("width = %d, want %d", m.W(), NumFeatures+NumWindowFeatures)
+	}
+	if m.Len() != 6 {
+		t.Fatalf("rows = %d, want 6", m.Len())
+	}
+	// Plain extraction keeps the standard width.
+	plain := Extract(f, an, Options{Lookahead: 1, AgeMax: -1})
+	if plain.W() != NumFeatures {
+		t.Fatalf("plain width = %d", plain.W())
+	}
+}
+
+func TestWindowAggregates(t *testing.T) {
+	f, an := windowFleet()
+	m := Extract(f, an, Options{Lookahead: 1, AgeMax: -1, WindowDays: 3})
+	// Find the row for day 16; its 3-day window covers days 14..16
+	// (records at 14, 15, 16).
+	for i := 0; i < m.Len(); i++ {
+		if m.Day[i] != 16 {
+			continue
+		}
+		x := m.Row(i)
+		w := x[NumFeatures:]
+		if w[WReportDays] != 3 {
+			t.Errorf("report days = %v, want 3", w[WReportDays])
+		}
+		if w[WActiveDays] != 2 { // day 14 is idle
+			t.Errorf("active days = %v, want 2", w[WActiveDays])
+		}
+		if w[WSumWrites] != 200 {
+			t.Errorf("window writes = %v, want 200", w[WSumWrites])
+		}
+		if w[WSumUncorrectable] != 3 { // only day 15's UEs are inside
+			t.Errorf("window UE = %v, want 3", w[WSumUncorrectable])
+		}
+		if w[WGrownBBDelta] != 2 { // grown 2 -> 4 across the window
+			t.Errorf("window BB delta = %v, want 2", w[WGrownBBDelta])
+		}
+		return
+	}
+	t.Fatal("row for day 16 not found")
+}
+
+func TestWindowHandlesGapsAndStart(t *testing.T) {
+	f, an := windowFleet()
+	m := Extract(f, an, Options{Lookahead: 1, AgeMax: -1, WindowDays: 3})
+	// Day 10 (first record): window is just itself.
+	for i := 0; i < m.Len(); i++ {
+		if m.Day[i] != 10 {
+			continue
+		}
+		w := m.Row(i)[NumFeatures:]
+		if w[WReportDays] != 1 || w[WSumWrites] != 100 || w[WGrownBBDelta] != 0 {
+			t.Fatalf("first-day window = %v", w)
+		}
+		return
+	}
+	t.Fatal("row for day 10 not found")
+}
+
+func TestWindowedScalerAndSubset(t *testing.T) {
+	f, an := windowFleet()
+	m := Extract(f, an, Options{Lookahead: 1, AgeMax: -1, WindowDays: 3})
+	s := FitScaler(m)
+	if len(s.Mean) != m.W() {
+		t.Fatalf("scaler width = %d, want %d", len(s.Mean), m.W())
+	}
+	scaled := s.Apply(m)
+	if scaled.W() != m.W() {
+		t.Fatal("Apply lost the width")
+	}
+	sub := m.Subset([]int{0, 2})
+	if sub.W() != m.W() || sub.Len() != 2 {
+		t.Fatalf("subset width %d len %d", sub.W(), sub.Len())
+	}
+	for f2 := 0; f2 < m.W(); f2++ {
+		if sub.Row(1)[f2] != m.Row(2)[f2] {
+			t.Fatal("subset row content mismatch")
+		}
+	}
+}
+
+func TestAllFeatureNames(t *testing.T) {
+	base := AllFeatureNames(NumFeatures)
+	if len(base) != NumFeatures {
+		t.Fatalf("base names = %d", len(base))
+	}
+	wide := AllFeatureNames(NumFeatures + NumWindowFeatures)
+	if len(wide) != NumFeatures+NumWindowFeatures {
+		t.Fatalf("wide names = %d", len(wide))
+	}
+	if wide[NumFeatures] != "window report days" {
+		t.Errorf("first window name = %q", wide[NumFeatures])
+	}
+	seen := map[string]bool{}
+	for _, n := range wide {
+		if seen[n] {
+			t.Errorf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,101 @@
+package eval
+
+import "math"
+
+// Calibration utilities: the paper thresholds the random forest's
+// probability output for binary decisions (Figure 14), which is only
+// meaningful if the scores behave like probabilities. These helpers
+// quantify that.
+
+// ReliabilityCurve bins scores into nbins equal-width probability bins
+// and returns, per bin, the mean predicted score and the observed
+// positive rate (NaN for empty bins). A well-calibrated classifier's
+// curve hugs the diagonal.
+func ReliabilityCurve(scores []float64, y []int8, nbins int) (predicted, observed []float64) {
+	if nbins <= 0 {
+		nbins = 10
+	}
+	sum := make([]float64, nbins)
+	pos := make([]float64, nbins)
+	cnt := make([]float64, nbins)
+	for i, s := range scores {
+		b := int(s * float64(nbins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		sum[b] += s
+		cnt[b]++
+		if y[i] == 1 {
+			pos[b]++
+		}
+	}
+	predicted = make([]float64, nbins)
+	observed = make([]float64, nbins)
+	for b := 0; b < nbins; b++ {
+		if cnt[b] > 0 {
+			predicted[b] = sum[b] / cnt[b]
+			observed[b] = pos[b] / cnt[b]
+		} else {
+			predicted[b] = math.NaN()
+			observed[b] = math.NaN()
+		}
+	}
+	return predicted, observed
+}
+
+// BrierScore returns the mean squared error between scores and labels —
+// a proper scoring rule combining calibration and refinement (lower is
+// better; 0.25 is the score of a constant 0.5 prediction).
+func BrierScore(scores []float64, y []int8) float64 {
+	if len(scores) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i, p := range scores {
+		d := p - float64(y[i])
+		s += d * d
+	}
+	return s / float64(len(scores))
+}
+
+// ExpectedCalibrationError summarizes the reliability curve: the
+// bin-count-weighted mean absolute gap between predicted and observed
+// positive rates.
+func ExpectedCalibrationError(scores []float64, y []int8, nbins int) float64 {
+	if nbins <= 0 {
+		nbins = 10
+	}
+	if len(scores) == 0 {
+		return math.NaN()
+	}
+	gap := make([]float64, nbins)
+	pos := make([]float64, nbins)
+	sum := make([]float64, nbins)
+	cnt := make([]float64, nbins)
+	for i, s := range scores {
+		b := int(s * float64(nbins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		sum[b] += s
+		cnt[b]++
+		if y[i] == 1 {
+			pos[b]++
+		}
+	}
+	var ece float64
+	for b := 0; b < nbins; b++ {
+		if cnt[b] == 0 {
+			continue
+		}
+		gap[b] = math.Abs(sum[b]/cnt[b] - pos[b]/cnt[b])
+		ece += gap[b] * cnt[b]
+	}
+	return ece / float64(len(scores))
+}

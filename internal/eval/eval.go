@@ -1,0 +1,353 @@
+// Package eval implements the paper's evaluation methodology (§5.1):
+// ROC curves and AUC (robust to the ~1:10,000 class imbalance of the
+// trace), drive-partitioned k-fold cross-validation with majority-class
+// downsampling, train-on-A/test-on-B transfer evaluation (Table 7), and
+// hyperparameter grid search.
+package eval
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/failure"
+	"ssdfail/internal/ml"
+	"ssdfail/internal/parallel"
+	"ssdfail/internal/trace"
+)
+
+// AUC returns the area under the ROC curve computed by the rank
+// (Mann-Whitney U) method with midrank handling of tied scores. It
+// returns 0.5 when either class is absent.
+func AUC(scores []float64, y []int8) float64 {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	var rankSum, nPos, nNeg float64
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			if y[idx[k]] == 1 {
+				rankSum += mid
+				nPos++
+			} else {
+				nNeg++
+			}
+		}
+		i = j + 1
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+}
+
+// ROC is a receiver operating characteristic curve: parallel slices of
+// false positive rate, true positive rate, and the score threshold at
+// each point, ordered from the strictest threshold to the loosest.
+type ROC struct {
+	FPR, TPR, Threshold []float64
+}
+
+// ComputeROC builds the full ROC curve from scores and labels.
+func ComputeROC(scores []float64, y []int8) *ROC {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var nPos, nNeg float64
+	for _, v := range y {
+		if v == 1 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	roc := &ROC{FPR: []float64{0}, TPR: []float64{0}, Threshold: []float64{math.Inf(1)}}
+	var tp, fp float64
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		for k := i; k <= j; k++ {
+			if y[idx[k]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+		}
+		var fpr, tpr float64
+		if nNeg > 0 {
+			fpr = fp / nNeg
+		}
+		if nPos > 0 {
+			tpr = tp / nPos
+		}
+		roc.FPR = append(roc.FPR, fpr)
+		roc.TPR = append(roc.TPR, tpr)
+		roc.Threshold = append(roc.Threshold, scores[idx[i]])
+		i = j + 1
+	}
+	return roc
+}
+
+// AUC integrates the curve by the trapezoid rule; it matches the rank
+// AUC of the same scores.
+func (r *ROC) AUC() float64 {
+	var area float64
+	for i := 1; i < len(r.FPR); i++ {
+		area += (r.FPR[i] - r.FPR[i-1]) * (r.TPR[i] + r.TPR[i-1]) / 2
+	}
+	return area
+}
+
+// TPRAtFPR interpolates the curve's TPR at the given false positive rate.
+func (r *ROC) TPRAtFPR(fpr float64) float64 {
+	for i := 1; i < len(r.FPR); i++ {
+		if r.FPR[i] >= fpr {
+			if r.FPR[i] == r.FPR[i-1] {
+				return r.TPR[i]
+			}
+			frac := (fpr - r.FPR[i-1]) / (r.FPR[i] - r.FPR[i-1])
+			return r.TPR[i-1] + frac*(r.TPR[i]-r.TPR[i-1])
+		}
+	}
+	return 1
+}
+
+// ConfusionAt returns (TPR, FPR) for binary predictions at the given
+// score threshold: predicted positive when score >= threshold.
+func ConfusionAt(scores []float64, y []int8, threshold float64) (tpr, fpr float64) {
+	var tp, fn, fp, tn float64
+	for i, s := range scores {
+		if y[i] == 1 {
+			if s >= threshold {
+				tp++
+			} else {
+				fn++
+			}
+		} else {
+			if s >= threshold {
+				fp++
+			} else {
+				tn++
+			}
+		}
+	}
+	if tp+fn > 0 {
+		tpr = tp / (tp + fn)
+	}
+	if fp+tn > 0 {
+		fpr = fp / (fp + tn)
+	}
+	return tpr, fpr
+}
+
+// Result summarizes one cross-validated evaluation.
+type Result struct {
+	AUCs []float64 // one per fold
+	Mean float64
+	Std  float64 // standard deviation across folds, as reported in Table 6
+}
+
+func summarize(aucs []float64) Result {
+	r := Result{AUCs: aucs}
+	if len(aucs) == 0 {
+		return r
+	}
+	var s float64
+	for _, a := range aucs {
+		s += a
+	}
+	r.Mean = s / float64(len(aucs))
+	var v float64
+	for _, a := range aucs {
+		d := a - r.Mean
+		v += d * d
+	}
+	if len(aucs) > 1 {
+		r.Std = math.Sqrt(v / float64(len(aucs)-1))
+	}
+	return r
+}
+
+// CVOptions configures cross-validated failure prediction.
+type CVOptions struct {
+	Folds     int // number of drive-partitioned folds (the paper uses 5)
+	Lookahead int // prediction window N in days
+	Seed      uint64
+	// DownsampleRatio is the negatives-per-positive ratio for training
+	// (the paper uses 1:1). <= 0 disables downsampling.
+	DownsampleRatio float64
+	// TestNegSampleProb subsamples negatives in the *test* fold (AUC is
+	// a rank statistic, so uniform negative subsampling is unbiased).
+	// <= 0 or >= 1 keeps all test rows.
+	TestNegSampleProb float64
+	// AgeMin/AgeMax restrict both training and test rows to an age band
+	// (inclusive); AgeMax < 0 means unbounded. Implements §5.3.
+	AgeMin, AgeMax int32
+	// WindowDays > 0 appends trailing-window features to every row
+	// (dataset.Options.WindowDays).
+	WindowDays int32
+	Workers    int
+}
+
+// normalize fills defaults.
+func (o *CVOptions) normalize() {
+	if o.Folds <= 0 {
+		o.Folds = 5
+	}
+	if o.Lookahead <= 0 {
+		o.Lookahead = 1
+	}
+	if o.DownsampleRatio == 0 {
+		o.DownsampleRatio = 1
+	}
+	if o.AgeMax == 0 {
+		o.AgeMax = -1
+	}
+}
+
+// CrossValidate runs drive-partitioned k-fold cross-validation of the
+// classifier on the fleet and returns per-fold AUCs. Folds are evaluated
+// in parallel; all sampling is deterministic given the seed.
+func CrossValidate(f *trace.Fleet, an *failure.Analysis, opts CVOptions, factory ml.Factory) (Result, error) {
+	opts.normalize()
+	folds := dataset.Folds(len(f.Drives), opts.Folds, opts.Seed)
+	aucs := make([]float64, opts.Folds)
+	errs := make([]error, opts.Folds)
+	parallel.For(opts.Workers, opts.Folds, func(k int) {
+		train := dataset.Extract(f, an, dataset.Options{
+			Lookahead: opts.Lookahead,
+			Seed:      opts.Seed + uint64(k),
+			AgeMin:    opts.AgeMin, AgeMax: opts.AgeMax,
+			WindowDays:   opts.WindowDays,
+			IncludeDrive: func(di int) bool { return folds[di] != k },
+		})
+		if opts.DownsampleRatio > 0 {
+			train = dataset.Downsample(train, opts.DownsampleRatio, opts.Seed+uint64(k))
+		}
+		test := dataset.Extract(f, an, dataset.Options{
+			Lookahead:          opts.Lookahead,
+			Seed:               opts.Seed + 1000 + uint64(k),
+			NegativeSampleProb: opts.TestNegSampleProb,
+			AgeMin:             opts.AgeMin, AgeMax: opts.AgeMax,
+			WindowDays:   opts.WindowDays,
+			IncludeDrive: func(di int) bool { return folds[di] == k },
+		})
+		if train.Positives() == 0 || test.Positives() == 0 {
+			errs[k] = errors.New("eval: a fold has no positive examples; use more drives or fewer folds")
+			return
+		}
+		clf := factory()
+		if err := clf.Fit(train); err != nil {
+			errs[k] = err
+			return
+		}
+		scores := ml.ScoreBatch(clf, test)
+		aucs[k] = AUC(scores, test.Y)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return summarize(aucs), nil
+}
+
+// TrainTest trains on one fleet and evaluates on another (Table 7's
+// cross-model transfer). It returns the test AUC.
+func TrainTest(trainFleet, testFleet *trace.Fleet, trainAn, testAn *failure.Analysis,
+	opts CVOptions, factory ml.Factory) (float64, error) {
+	opts.normalize()
+	train := dataset.Extract(trainFleet, trainAn, dataset.Options{
+		Lookahead: opts.Lookahead,
+		Seed:      opts.Seed,
+		AgeMin:    opts.AgeMin, AgeMax: opts.AgeMax,
+		WindowDays: opts.WindowDays,
+	})
+	if opts.DownsampleRatio > 0 {
+		train = dataset.Downsample(train, opts.DownsampleRatio, opts.Seed)
+	}
+	test := dataset.Extract(testFleet, testAn, dataset.Options{
+		Lookahead:          opts.Lookahead,
+		Seed:               opts.Seed + 1000,
+		NegativeSampleProb: opts.TestNegSampleProb,
+		AgeMin:             opts.AgeMin, AgeMax: opts.AgeMax,
+		WindowDays: opts.WindowDays,
+	})
+	if train.Positives() == 0 || test.Positives() == 0 {
+		return 0, errors.New("eval: train or test has no positives")
+	}
+	clf := factory()
+	if err := clf.Fit(train); err != nil {
+		return 0, err
+	}
+	return AUC(ml.ScoreBatch(clf, test), test.Y), nil
+}
+
+// GridPoint is one hyperparameter configuration in a grid search.
+type GridPoint struct {
+	Label   string
+	Factory ml.Factory
+}
+
+// GridSearch cross-validates every grid point and returns the index of
+// the configuration with the best mean AUC, along with all results.
+func GridSearch(f *trace.Fleet, an *failure.Analysis, opts CVOptions, grid []GridPoint) (best int, results []Result, err error) {
+	results = make([]Result, len(grid))
+	best = -1
+	for i, g := range grid {
+		r, err := CrossValidate(f, an, opts, g.Factory)
+		if err != nil {
+			return -1, nil, err
+		}
+		results[i] = r
+		if best < 0 || r.Mean > results[best].Mean {
+			best = i
+		}
+	}
+	return best, results, nil
+}
+
+// TPRByAgeMonth computes the cross-validated true positive rate as a
+// function of drive age in months at a fixed score threshold (Figure 14).
+// scores, y, ages must be parallel slices; months with no positives are
+// NaN.
+func TPRByAgeMonth(scores []float64, y []int8, ages []int32, threshold float64, maxMonths int) []float64 {
+	tp := make([]float64, maxMonths)
+	pos := make([]float64, maxMonths)
+	for i, s := range scores {
+		if y[i] != 1 {
+			continue
+		}
+		m := int(ages[i] / 30)
+		if m >= maxMonths {
+			m = maxMonths - 1
+		}
+		pos[m]++
+		if s >= threshold {
+			tp[m]++
+		}
+	}
+	out := make([]float64, maxMonths)
+	for m := range out {
+		if pos[m] > 0 {
+			out[m] = tp[m] / pos[m]
+		} else {
+			out[m] = math.NaN()
+		}
+	}
+	return out
+}

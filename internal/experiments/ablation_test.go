@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"testing"
+
+	"ssdfail/internal/dataset"
+)
+
+func TestAblationSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	ctx := getCtx(t)
+	tbl, err := AblationSplit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestAblationDownsampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	ctx := getCtx(t)
+	tbl, err := AblationDownsampling(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestAblationFeatureSets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	ctx := getCtx(t)
+	tbl, err := AblationFeatureSets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestAblationForestSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	ctx := getCtx(t)
+	tbl, err := AblationForestSize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestExtensionWindowedFeatures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	ctx := getCtx(t)
+	tbl, err := ExtensionWindowedFeatures(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != 4 || row[1] == "" || row[2] == "" {
+			t.Fatalf("malformed row %v", row)
+		}
+	}
+}
+
+func TestExtensionGBDT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	ctx := getCtx(t)
+	tbl, err := ExtensionGBDT(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+}
+
+func TestMaskedModelZeroesFeatures(t *testing.T) {
+	keep := featureSet(func(f int) bool { return f == dataset.FDriveAge })
+	if keep[dataset.FReadCount] || !keep[dataset.FDriveAge] {
+		t.Fatal("featureSet mask wrong")
+	}
+	m := &maskedModel{keep: keep}
+	x := make([]float64, dataset.NumFeatures)
+	for i := range x {
+		x[i] = 1
+	}
+	masked := m.mask(x)
+	for f, v := range masked {
+		want := 0.0
+		if f == dataset.FDriveAge {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("mask[%d] = %v, want %v", f, v, want)
+		}
+	}
+}

@@ -1,0 +1,659 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"ssdfail/internal/failure"
+	"ssdfail/internal/report"
+	"ssdfail/internal/stats"
+	"ssdfail/internal/trace"
+)
+
+// Table1 computes the proportion of drive days exhibiting each error
+// type, per model (paper Table 1).
+func Table1(ctx *Context) *report.Table {
+	tbl := &report.Table{
+		Title:   "Table 1: proportion of drive days that exhibit each error type",
+		Columns: []string{"Error type", "MLC-A", "MLC-B", "MLC-D", "paper A", "paper B", "paper D"},
+	}
+	var days [trace.NumModels]float64
+	var with [trace.NumModels][trace.NumErrorKinds]float64
+	for i := range ctx.Fleet.Drives {
+		d := &ctx.Fleet.Drives[i]
+		for j := range d.Days {
+			days[d.Model]++
+			for k := 0; k < trace.NumErrorKinds; k++ {
+				if d.Days[j].Errors[k] > 0 {
+					with[d.Model][k]++
+				}
+			}
+		}
+	}
+	for k := 0; k < trace.NumErrorKinds; k++ {
+		kind := trace.ErrorKind(k)
+		if kind == trace.ErrErase {
+			continue // Table 1 in the paper omits erase errors
+		}
+		ref, hasRef := PaperTable1[kind.String()]
+		row := []string{kind.String()}
+		for _, m := range trace.Models {
+			row = append(row, report.F(with[m][k]/days[m], 6))
+		}
+		for mi := 0; mi < 3; mi++ {
+			if hasRef {
+				row = append(row, report.F(ref[mi], 6))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl
+}
+
+// table2Labels names the columns/rows of the Spearman matrix, in the
+// paper's order.
+var table2Labels = []string{
+	"erase", "final read", "final write", "meta", "read", "response",
+	"timeout", "uncorrect.", "write", "P/E cycle", "bad block", "drive age",
+}
+
+// Table2Matrix computes the Spearman correlation matrix among per-drive
+// lifetime cumulative error counts, P/E cycles, bad blocks, and age
+// (paper Table 2). It returns the matrix alongside the rendered table.
+func Table2Matrix(ctx *Context) ([][]float64, *report.Table) {
+	kinds := []trace.ErrorKind{
+		trace.ErrErase, trace.ErrFinalRead, trace.ErrFinalWrite, trace.ErrMeta,
+		trace.ErrRead, trace.ErrResponse, trace.ErrTimeout,
+		trace.ErrUncorrectable, trace.ErrWrite,
+	}
+	finals := ctx.finalRecords()
+	nCols := len(kinds) + 3
+	cols := make([][]float64, nCols)
+	for c := range cols {
+		cols[c] = make([]float64, len(finals))
+	}
+	for i, r := range finals {
+		for ki, k := range kinds {
+			cols[ki][i] = float64(r.CumErrors[k])
+		}
+		cols[len(kinds)][i] = r.PECycles
+		cols[len(kinds)+1][i] = float64(r.BadBlocks())
+		cols[len(kinds)+2][i] = float64(r.Age)
+	}
+	m := stats.CorrelationMatrix(cols, stats.Spearman)
+
+	tbl := &report.Table{
+		Title:   "Table 2: Spearman correlations among cumulative counts (lower triangle)",
+		Columns: append([]string{""}, table2Labels...),
+	}
+	for i, name := range table2Labels {
+		row := []string{name}
+		for j := 0; j <= i && j < nCols; j++ {
+			row = append(row, report.F(m[i][j], 2))
+		}
+		tbl.AddRow(row...)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"paper highlights: uncorrectable~final read 0.97, age~P/E 0.73, erase~P/E 0.32, bad block~uncorrectable 0.37")
+	return m, tbl
+}
+
+// Table2 renders the Spearman matrix.
+func Table2(ctx *Context) *report.Table {
+	_, tbl := Table2Matrix(ctx)
+	return tbl
+}
+
+// Table3 reports failure incidence per model (paper Table 3).
+func Table3(ctx *Context) *report.Table {
+	tbl := &report.Table{
+		Title:   "Table 3: failure incidence",
+		Columns: []string{"Model", "#Failures", "%Failed", "paper #", "paper %"},
+	}
+	addRow := func(name string, an *failure.Analysis, drives int) {
+		failed := an.FailedDriveCount()
+		ref := PaperTable3[name]
+		tbl.AddRow(name,
+			fmt.Sprintf("%d", len(an.Events)),
+			report.Pct(float64(failed)/float64(drives), 2),
+			fmt.Sprintf("%d", ref.Failures),
+			fmt.Sprintf("%.2f%%", ref.PctFail),
+		)
+	}
+	for _, m := range trace.Models {
+		addRow(m.String(), ctx.ModelAn[m], len(ctx.ModelFleet[m].Drives))
+	}
+	addRow("All", ctx.An, len(ctx.Fleet.Drives))
+	return tbl
+}
+
+// Table4 reports the distribution of lifetime failure counts (Table 4).
+func Table4(ctx *Context) *report.Table {
+	dist := ctx.An.FailureCountDistribution(4)
+	total := len(ctx.Fleet.Drives)
+	failed := total - dist[0]
+	tbl := &report.Table{
+		Title:   "Table 4: distribution of lifetime failure counts",
+		Columns: []string{"#Failures", "% of drives", "% of failed drives", "paper % of drives"},
+	}
+	for k, n := range dist {
+		ofFailed := "-"
+		if k > 0 && failed > 0 {
+			ofFailed = report.Pct(float64(n)/float64(failed), 3)
+		}
+		tbl.AddRow(fmt.Sprintf("%d", k),
+			report.Pct(float64(n)/float64(total), 3),
+			ofFailed,
+			fmt.Sprintf("%.3f%%", PaperTable4[k]))
+	}
+	return tbl
+}
+
+// table5Windows are Table 5's repair-time horizons in days (∞ last).
+var table5Windows = []int32{10, 30, 100, 365, 730, 1095}
+
+// Table5 reports the percentage of swapped drives that re-enter the
+// workflow within n days (paper Table 5); parentheses show repaired
+// drives as a share of all drives.
+func Table5(ctx *Context) *report.Table {
+	tbl := &report.Table{
+		Title:   "Table 5: % of swapped drives re-entering within n days (and % of all drives)",
+		Columns: []string{"Model", "10d", "30d", "100d", "1y", "2y", "3y", "ever"},
+	}
+	for _, m := range trace.Models {
+		an := ctx.ModelAn[m]
+		drives := len(ctx.ModelFleet[m].Drives)
+		swapped := len(an.Events)
+		row := []string{m.String()}
+		if swapped == 0 {
+			for range table5Windows {
+				row = append(row, "-")
+			}
+			tbl.AddRow(append(row, "-")...)
+			continue
+		}
+		count := func(limit int32) int {
+			c := 0
+			for i := range an.Events {
+				rd := an.Events[i].RepairDays
+				if rd >= 0 && (limit < 0 || rd <= limit) {
+					c++
+				}
+			}
+			return c
+		}
+		for _, w := range table5Windows {
+			c := count(w)
+			row = append(row, fmt.Sprintf("%.1f (%.2f)",
+				100*float64(c)/float64(swapped), 100*float64(c)/float64(drives)))
+		}
+		c := count(-1)
+		row = append(row, fmt.Sprintf("%.1f (%.2f)",
+			100*float64(c)/float64(swapped), 100*float64(c)/float64(drives)))
+		tbl.AddRow(row...)
+	}
+	ref := func(name string) string {
+		r := PaperTable5[name]
+		return fmt.Sprintf("paper %s: 10d %.1f, 30d %.1f, 100d %.1f, 1y %.1f, 2y %.1f, 3y %.1f, ever %.1f",
+			name, r[0], r[1], r[2], r[3], r[4], r[5], r[6])
+	}
+	tbl.Notes = append(tbl.Notes, ref("MLC-A"), ref("MLC-B"), ref("MLC-D"))
+	return tbl
+}
+
+// Figure1 computes the CDFs of maximum observed drive age and of the
+// per-drive data count (paper Figure 1), evaluated yearly.
+func Figure1(ctx *Context) (*report.Table, *report.Plot) {
+	var maxAges, dataCounts []float64
+	for i := range ctx.Fleet.Drives {
+		d := &ctx.Fleet.Drives[i]
+		if len(d.Days) == 0 {
+			continue
+		}
+		maxAges = append(maxAges, float64(d.MaxAge()))
+		dataCounts = append(dataCounts, float64(d.DataCount()))
+	}
+	ageCDF := stats.NewECDF(maxAges)
+	cntCDF := stats.NewECDF(dataCounts)
+	tbl := &report.Table{
+		Title:   "Figure 1: CDFs of max observed age and data count",
+		Columns: []string{"Years", "P(max age <= t)", "P(data count <= t)"},
+	}
+	xs := stats.LinSpace(0, float64(ctx.Fleet.Horizon), 13)
+	plot := &report.Plot{Title: "Figure 1", XLabel: "years", YLabel: "CDF"}
+	var s1, s2 report.Series
+	s1.Name, s2.Name = "max age", "data count"
+	for _, x := range xs {
+		tbl.AddRow(report.F(x/365, 2), report.F(ageCDF.At(x), 3), report.F(cntCDF.At(x), 3))
+		s1.X = append(s1.X, x/365)
+		s1.Y = append(s1.Y, ageCDF.At(x))
+		s2.X = append(s2.X, x/365)
+		s2.Y = append(s2.Y, cntCDF.At(x))
+	}
+	plot.Series = []report.Series{s1, s2}
+	tbl.Notes = append(tbl.Notes, "paper: >50% of drives observed 4-6 years")
+	return tbl, plot
+}
+
+// Figure3 computes the CDF of operational-period lengths with the
+// censored (never-ending) mass (paper Figure 3).
+func Figure3(ctx *Context) (*report.Table, *report.Plot) {
+	finished, censored := ctx.An.OperationalLengths()
+	cdf := stats.NewCensoredECDF(finished, censored)
+	tbl := &report.Table{
+		Title:   "Figure 3: CDF of time to failure (operational period length)",
+		Columns: []string{"Years", "CDF"},
+	}
+	plot := &report.Plot{Title: "Figure 3", XLabel: "years", YLabel: "CDF"}
+	var s report.Series
+	s.Name = "time to failure"
+	for _, x := range stats.LinSpace(0, float64(ctx.Fleet.Horizon), 13) {
+		tbl.AddRow(report.F(x/365, 2), report.F(cdf.At(x), 3))
+		s.X = append(s.X, x/365)
+		s.Y = append(s.Y, cdf.At(x))
+	}
+	plot.Series = []report.Series{s}
+	tbl.AddRow("∞ (censored)", report.Pct(cdf.CensoredFraction(), 1))
+	tbl.Notes = append(tbl.Notes, "paper: >80% of operational periods not observed to end")
+	return tbl, plot
+}
+
+// Figure4 computes the CDF of the non-operational period between failure
+// and swap (paper Figure 4; log-scaled x-axis).
+func Figure4(ctx *Context) (*report.Table, *report.Plot) {
+	durations := ctx.An.NonOpDurations()
+	cdf := stats.NewECDF(durations)
+	tbl := &report.Table{
+		Title:   "Figure 4: CDF of non-operational period before swap",
+		Columns: []string{"Days", "CDF"},
+	}
+	plot := &report.Plot{Title: "Figure 4", XLabel: "days (log)", YLabel: "CDF", LogX: true}
+	var s report.Series
+	s.Name = "non-op period"
+	for _, x := range []float64{1, 2, 3, 5, 7, 14, 30, 60, 100, 200, 400, 700} {
+		tbl.AddRow(report.F(x, 0), report.F(cdf.At(x), 3))
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, cdf.At(x))
+	}
+	plot.Series = []report.Series{s}
+	tbl.Notes = append(tbl.Notes,
+		"paper: ~20% swapped within a day, ~80% within 7 days, ~8% beyond 100 days")
+	return tbl, plot
+}
+
+// Figure5 computes the CDF of time to repair with its censored mass
+// (paper Figure 5).
+func Figure5(ctx *Context) (*report.Table, *report.Plot) {
+	observed, censored := ctx.An.RepairTimes()
+	cdf := stats.NewCensoredECDF(observed, censored)
+	tbl := &report.Table{
+		Title:   "Figure 5: CDF of time to repair",
+		Columns: []string{"Days", "CDF"},
+	}
+	plot := &report.Plot{Title: "Figure 5", XLabel: "days (log)", YLabel: "CDF", LogX: true}
+	var s report.Series
+	s.Name = "time to repair"
+	for _, x := range []float64{1, 3, 10, 30, 100, 365, 730, 1095, 1770} {
+		tbl.AddRow(report.F(x, 0), report.F(cdf.At(x), 3))
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, cdf.At(x))
+	}
+	plot.Series = []report.Series{s}
+	tbl.AddRow("∞ (censored)", report.Pct(cdf.CensoredFraction(), 1))
+	tbl.Notes = append(tbl.Notes, "paper: ~half of swapped drives never observed to re-enter")
+	return tbl, plot
+}
+
+// Figure6 computes the CDF of drive age at failure and the
+// population-normalized monthly failure rate (paper Figure 6).
+func Figure6(ctx *Context) (*report.Table, *report.Plot) {
+	ages := ctx.An.FailureAges()
+	cdf := stats.NewECDF(ages)
+
+	// Exposure: drive-days observed at each month of age.
+	months := int(ctx.Fleet.Horizon/30) + 1
+	exposure := make([]float64, months)
+	for i := range ctx.Fleet.Drives {
+		for j := range ctx.Fleet.Drives[i].Days {
+			m := int(ctx.Fleet.Drives[i].Days[j].Age / 30)
+			if m < months {
+				exposure[m]++
+			}
+		}
+	}
+	failures := make([]float64, months)
+	for _, a := range ages {
+		m := int(a / 30)
+		if m < months {
+			failures[m]++
+		}
+	}
+	// Rate per drive-month: failures / (drive-days / 30).
+	rate := make([]float64, months)
+	for m := range rate {
+		if exposure[m] > 0 {
+			rate[m] = failures[m] / (exposure[m] / 30)
+		} else {
+			rate[m] = math.NaN()
+		}
+	}
+
+	tbl := &report.Table{
+		Title:   "Figure 6: failure age CDF and monthly failure rate",
+		Columns: []string{"Age (months)", "CDF of failure age", "failure rate"},
+	}
+	plot := &report.Plot{Title: "Figure 6", XLabel: "age (months)", YLabel: "CDF / rate"}
+	var sc, sr report.Series
+	sc.Name, sr.Name = "CDF", "rate (x10)"
+	for m := 0; m < months; m += 2 {
+		x := float64(m)
+		c := cdf.At(float64((m + 1) * 30))
+		tbl.AddRow(fmt.Sprintf("%d", m), report.F(c, 3), report.F(rate[m], 4))
+		sc.X = append(sc.X, x)
+		sc.Y = append(sc.Y, c)
+		if !math.IsNaN(rate[m]) {
+			sr.X = append(sr.X, x)
+			sr.Y = append(sr.Y, rate[m]*10)
+		}
+	}
+	plot.Series = []report.Series{sc, sr}
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("measured: %.0f%% of failures within 30 days, %.0f%% within 90 days; paper: %.0f%% and %.0f%%",
+			100*cdf.At(30), 100*cdf.At(90),
+			100*PaperFigure6.Within30, 100*PaperFigure6.Within90))
+	return tbl, plot
+}
+
+// Figure7 computes quartiles of daily write intensity per month of drive
+// age (paper Figure 7).
+func Figure7(ctx *Context) (*report.Table, *report.Plot) {
+	months := int(ctx.Fleet.Horizon/30) + 1
+	byMonth := make([][]float64, months)
+	for i := range ctx.Fleet.Drives {
+		d := &ctx.Fleet.Drives[i]
+		for j := range d.Days {
+			r := &d.Days[j]
+			if !r.Active() {
+				continue
+			}
+			m := int(r.Age / 30)
+			if m < months {
+				byMonth[m] = append(byMonth[m], float64(r.Writes))
+			}
+		}
+	}
+	tbl := &report.Table{
+		Title:   "Figure 7: daily write intensity quartiles by age month",
+		Columns: []string{"Age (months)", "Q1", "median", "Q3", "n days"},
+	}
+	plot := &report.Plot{Title: "Figure 7", XLabel: "age (months)", YLabel: "writes/day"}
+	var q1s, meds, q3s report.Series
+	q1s.Name, meds.Name, q3s.Name = "Q1", "median", "Q3"
+	for m := 0; m < months; m += 2 {
+		if len(byMonth[m]) == 0 {
+			continue
+		}
+		qs := stats.Quantiles(byMonth[m], 0.25, 0.5, 0.75)
+		tbl.AddRow(fmt.Sprintf("%d", m),
+			fmt.Sprintf("%.3g", qs[0]), fmt.Sprintf("%.3g", qs[1]), fmt.Sprintf("%.3g", qs[2]),
+			fmt.Sprintf("%d", len(byMonth[m])))
+		x := float64(m)
+		q1s.X = append(q1s.X, x)
+		q1s.Y = append(q1s.Y, qs[0])
+		meds.X = append(meds.X, x)
+		meds.Y = append(meds.Y, qs[1])
+		q3s.X = append(q3s.X, x)
+		q3s.Y = append(q3s.Y, qs[2])
+	}
+	plot.Series = []report.Series{q1s, meds, q3s}
+	tbl.Notes = append(tbl.Notes, "paper: young drives see markedly fewer writes (no burn-in)")
+	return tbl, plot
+}
+
+// failurePE returns the P/E cycle count at each failure, split young/old.
+func (ctx *Context) failurePE() (young, old []float64) {
+	for i := range ctx.An.Events {
+		e := &ctx.An.Events[i]
+		rec := ctx.An.FailureRecord(e)
+		if rec == nil {
+			continue
+		}
+		if e.Young() {
+			young = append(young, rec.PECycles)
+		} else {
+			old = append(old, rec.PECycles)
+		}
+	}
+	return young, old
+}
+
+// Figure8 computes the CDF of P/E cycles at failure and the failure rate
+// per 250-cycle bin (paper Figure 8).
+func Figure8(ctx *Context) (*report.Table, *report.Plot) {
+	young, old := ctx.failurePE()
+	all := append(append([]float64{}, young...), old...)
+	cdf := stats.NewECDF(all)
+
+	// Exposure per 250-cycle bin: drive-days observed in that bin.
+	const binW = 250
+	nbins := 25
+	exposure := make([]float64, nbins)
+	failures := make([]float64, nbins)
+	for i := range ctx.Fleet.Drives {
+		for j := range ctx.Fleet.Drives[i].Days {
+			b := int(ctx.Fleet.Drives[i].Days[j].PECycles / binW)
+			if b < nbins {
+				exposure[b]++
+			}
+		}
+	}
+	for _, pe := range all {
+		b := int(pe / binW)
+		if b < nbins {
+			failures[b]++
+		}
+	}
+	rate := stats.BinnedRate(failures, exposure)
+
+	tbl := &report.Table{
+		Title:   "Figure 8: P/E cycles at failure (CDF) and failure rate per 250-cycle bin",
+		Columns: []string{"P/E", "CDF", "rate per drive-day"},
+	}
+	plot := &report.Plot{Title: "Figure 8", XLabel: "P/E cycles", YLabel: "CDF"}
+	var sc report.Series
+	sc.Name = "CDF of P/E at failure"
+	for b := 0; b < nbins; b += 2 {
+		x := float64(b * binW)
+		tbl.AddRow(report.F(x, 0), report.F(cdf.At(x+binW), 3), report.F(rate[b], 6))
+		sc.X = append(sc.X, x)
+		sc.Y = append(sc.Y, cdf.At(x+binW))
+	}
+	plot.Series = []report.Series{sc}
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("measured: %.1f%% of failures below 1500 P/E; paper: ~98%%", 100*cdf.At(1500)))
+	return tbl, plot
+}
+
+// Figure9 splits the Figure 8 CDF across young and old failures.
+func Figure9(ctx *Context) (*report.Table, *report.Plot) {
+	young, old := ctx.failurePE()
+	yc, oc := stats.NewECDF(young), stats.NewECDF(old)
+	tbl := &report.Table{
+		Title:   "Figure 9: P/E-at-failure CDF, young (<=90d) vs old failures",
+		Columns: []string{"P/E", "young CDF", "old CDF"},
+	}
+	plot := &report.Plot{Title: "Figure 9", XLabel: "P/E cycles", YLabel: "CDF"}
+	var sy, so report.Series
+	sy.Name, so.Name = "young", "old"
+	for _, x := range stats.LinSpace(0, 2000, 11) {
+		tbl.AddRow(report.F(x, 0), report.F(yc.At(x), 3), report.F(oc.At(x), 3))
+		sy.X = append(sy.X, x)
+		sy.Y = append(sy.Y, yc.At(x))
+		so.X = append(so.X, x)
+		so.Y = append(so.Y, oc.At(x))
+	}
+	plot.Series = []report.Series{sy, so}
+	tbl.Notes = append(tbl.Notes, "paper: young failures occupy a small, distinct P/E range")
+	return tbl, plot
+}
+
+// Figure10 computes CDFs of cumulative grown bad blocks and cumulative
+// uncorrectable errors at failure for young/old failures, against the
+// final counts of drives that never failed (paper Figure 10).
+func Figure10(ctx *Context) (*report.Table, *report.Plot) {
+	var youngBB, oldBB, okBB []float64
+	var youngUE, oldUE, okUE []float64
+	failedDrive := make([]bool, len(ctx.Fleet.Drives))
+	for i := range ctx.An.Events {
+		e := &ctx.An.Events[i]
+		failedDrive[e.DriveIdx] = true
+		rec := ctx.An.FailureRecord(e)
+		if rec == nil {
+			continue
+		}
+		bb := float64(rec.GrownBadBlocks)
+		ue := float64(rec.CumErrors[trace.ErrUncorrectable])
+		if e.Young() {
+			youngBB = append(youngBB, bb)
+			youngUE = append(youngUE, ue)
+		} else {
+			oldBB = append(oldBB, bb)
+			oldUE = append(oldUE, ue)
+		}
+	}
+	for i := range ctx.Fleet.Drives {
+		if failedDrive[i] {
+			continue
+		}
+		if r := ctx.Fleet.Drives[i].Last(); r != nil {
+			okBB = append(okBB, float64(r.GrownBadBlocks))
+			okUE = append(okUE, float64(r.CumErrors[trace.ErrUncorrectable]))
+		}
+	}
+	tbl := &report.Table{
+		Title:   "Figure 10: cumulative bad blocks / uncorrectable errors at failure",
+		Columns: []string{"Count >=", "young BB", "old BB", "not-failed BB", "young UE", "old UE", "not-failed UE"},
+	}
+	cdfs := []*stats.ECDF{
+		stats.NewECDF(youngBB), stats.NewECDF(oldBB), stats.NewECDF(okBB),
+		stats.NewECDF(youngUE), stats.NewECDF(oldUE), stats.NewECDF(okUE),
+	}
+	plot := &report.Plot{Title: "Figure 10 (UE)", XLabel: "cumulative UE (log)", YLabel: "CDF", LogX: true}
+	names := []string{"young UE", "old UE", "not failed UE"}
+	series := make([]report.Series, 3)
+	for _, x := range []float64{0, 1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7} {
+		row := []string{fmt.Sprintf("%.0g", x)}
+		for _, c := range cdfs {
+			row = append(row, report.F(c.At(x), 3))
+		}
+		tbl.AddRow(row...)
+		for si := 0; si < 3; si++ {
+			if x > 0 {
+				series[si].X = append(series[si].X, x)
+				series[si].Y = append(series[si].Y, cdfs[3+si].At(x))
+			}
+		}
+	}
+	for si := range series {
+		series[si].Name = names[si]
+	}
+	plot.Series = series
+	tbl.Notes = append(tbl.Notes,
+		"paper: ~80% of non-failed drives saw no UE; zero-UE share 68% young / 45% old failures; young tails are orders of magnitude heavier")
+	return tbl, plot
+}
+
+// Figure11 computes (top) the probability of a UE within the last n days
+// before a failure versus an arbitrary-window baseline and (bottom)
+// upper percentiles of the nonzero UE counts per day before failure
+// (paper Figure 11).
+func Figure11(ctx *Context) (*report.Table, *report.Table) {
+	const window = 7
+	// Baseline: probability of >=1 UE day within an arbitrary n-day
+	// window, estimated from overall day incidence.
+	var days, ueDays float64
+	for i := range ctx.Fleet.Drives {
+		for j := range ctx.Fleet.Drives[i].Days {
+			days++
+			if ctx.Fleet.Drives[i].Days[j].Errors[trace.ErrUncorrectable] > 0 {
+				ueDays++
+			}
+		}
+	}
+	pDay := ueDays / days
+
+	// For each failure, check which of the last n days had UEs and
+	// record their counts.
+	type acc struct {
+		hadWithin [window + 1]float64
+		total     float64
+		counts    [window + 1][]float64
+	}
+	var young, old acc
+	for i := range ctx.An.Events {
+		e := &ctx.An.Events[i]
+		if e.FailRecIdx < 0 {
+			continue
+		}
+		d := &ctx.Fleet.Drives[e.DriveIdx]
+		a := &old
+		if e.Young() {
+			a = &young
+		}
+		a.total++
+		firstUE := -1
+		for off := 0; off <= window; off++ {
+			idx := d.RecordOn(e.FailDay - int32(off))
+			if idx < 0 {
+				continue
+			}
+			ue := d.Days[idx].Errors[trace.ErrUncorrectable]
+			if ue > 0 {
+				if firstUE < 0 || off < firstUE {
+					firstUE = off
+				}
+				a.counts[off] = append(a.counts[off], float64(ue))
+			}
+		}
+		if firstUE >= 0 {
+			for off := firstUE; off <= window; off++ {
+				a.hadWithin[off]++
+			}
+		}
+	}
+
+	top := &report.Table{
+		Title:   "Figure 11 (top): P(uncorrectable error within last n days before failure)",
+		Columns: []string{"n (days)", "young", "old", "baseline"},
+	}
+	for n := 0; n <= window; n++ {
+		baseline := 1 - math.Pow(1-pDay, float64(n+1))
+		top.AddRow(fmt.Sprintf("%d", n),
+			report.F(young.hadWithin[n]/math.Max(young.total, 1), 3),
+			report.F(old.hadWithin[n]/math.Max(old.total, 1), 3),
+			report.F(baseline, 3))
+	}
+	top.Notes = append(top.Notes, "paper: failed drives see UEs far above baseline, concentrated in the last 2 days")
+
+	bottom := &report.Table{
+		Title:   "Figure 11 (bottom): percentiles of nonzero UE counts by day before failure",
+		Columns: []string{"days before", "75% young", "75% old", "85% young", "85% old", "95% young", "95% old"},
+	}
+	for off := 0; off <= window; off++ {
+		row := []string{fmt.Sprintf("%d", off)}
+		for _, q := range []float64{0.75, 0.85, 0.95} {
+			for _, a := range []*acc{&young, &old} {
+				if len(a.counts[off]) == 0 {
+					row = append(row, "-")
+				} else {
+					row = append(row, fmt.Sprintf("%.3g", stats.Quantile(a.counts[off], q)))
+				}
+			}
+		}
+		bottom.AddRow(row...)
+	}
+	bottom.Notes = append(bottom.Notes, "paper: young failures see orders of magnitude more UEs when they see any")
+	return top, bottom
+}

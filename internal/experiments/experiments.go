@@ -1,0 +1,103 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on a simulated fleet: Tables 1–8 and Figures 1, 3–16 (see
+// DESIGN.md §4 for the index). Each experiment returns report tables
+// and/or plots; cmd/ssdreport runs them all and writes the
+// paper-vs-measured comparison into EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"ssdfail/internal/failure"
+	"ssdfail/internal/fleetsim"
+	"ssdfail/internal/trace"
+)
+
+// Config scales the experiment run. Defaults reproduce the paper's
+// qualitative results in a few minutes on a laptop; raise DrivesPerModel
+// for tighter confidence intervals.
+type Config struct {
+	Seed           uint64
+	DrivesPerModel int
+	HorizonDays    int32
+	Workers        int
+
+	// Prediction-harness knobs.
+	CVFolds           int
+	ForestTrees       int
+	TestNegSampleProb float64 // uniform negative subsampling in test folds
+}
+
+// DefaultConfig returns the standard experiment scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              42,
+		DrivesPerModel:    300,
+		HorizonDays:       2190, // six years, as in the trace
+		CVFolds:           5,
+		ForestTrees:       100,
+		TestNegSampleProb: 0.25,
+	}
+}
+
+// Context carries the generated fleet and its reconstruction, shared by
+// all experiments.
+type Context struct {
+	Cfg   Config
+	Fleet *trace.Fleet
+	Truth *fleetsim.Truth
+	An    *failure.Analysis
+
+	// Per-model views (shared drive slices, fresh analyses).
+	ModelFleet [trace.NumModels]*trace.Fleet
+	ModelAn    [trace.NumModels]*failure.Analysis
+}
+
+// NewContext generates the fleet and reconstructs its failure timeline.
+func NewContext(cfg Config) (*Context, error) {
+	fc := fleetsim.DefaultConfig(cfg.Seed, cfg.DrivesPerModel)
+	if cfg.HorizonDays > 0 {
+		fc.HorizonDays = cfg.HorizonDays
+		if fc.EarlyWindow >= fc.HorizonDays-60 {
+			fc.EarlyWindow = (fc.HorizonDays - 60) / 3
+		}
+	}
+	fc.Workers = cfg.Workers
+	fleet, truth, err := fleetsim.Generate(fc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	ctx := &Context{Cfg: cfg, Fleet: fleet, Truth: truth, An: failure.Analyze(fleet)}
+	for _, m := range trace.Models {
+		ctx.ModelFleet[m] = fleet.FilterModel(m)
+		ctx.ModelAn[m] = failure.Analyze(ctx.ModelFleet[m])
+	}
+	return ctx, nil
+}
+
+// NewContextFromFleet wraps an existing fleet (e.g. loaded from a trace
+// file) in an experiment context; the Truth field stays nil because only
+// the simulator can provide ground truth.
+func NewContextFromFleet(cfg Config, fleet *trace.Fleet) (*Context, error) {
+	if err := fleet.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: invalid fleet: %w", err)
+	}
+	ctx := &Context{Cfg: cfg, Fleet: fleet, An: failure.Analyze(fleet)}
+	for _, m := range trace.Models {
+		ctx.ModelFleet[m] = fleet.FilterModel(m)
+		ctx.ModelAn[m] = failure.Analyze(ctx.ModelFleet[m])
+	}
+	return ctx, nil
+}
+
+// finalRecords returns the last day record of every drive (nil entries
+// are skipped), used for lifetime cumulative statistics.
+func (ctx *Context) finalRecords() []*trace.DayRecord {
+	var out []*trace.DayRecord
+	for i := range ctx.Fleet.Drives {
+		if r := ctx.Fleet.Drives[i].Last(); r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

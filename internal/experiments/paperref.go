@@ -1,0 +1,113 @@
+package experiments
+
+// Published values from "SSD Failures in the Field" (SC '19), embedded
+// so reports can print paper-vs-measured comparisons. All values are
+// transcribed from the paper's tables and figure captions.
+
+// PaperTable1 lists the proportion of drive days exhibiting each error
+// type (Table 1), indexed by error name then model.
+var PaperTable1 = map[string][3]float64{
+	"correctable":   {0.828895, 0.776308, 0.767593},
+	"final_read":    {0.001077, 0.001805, 0.001552},
+	"final_write":   {0.000026, 0.000027, 0.000034},
+	"meta":          {0.000014, 0.000016, 0.000028},
+	"read":          {0.000090, 0.000103, 0.000133},
+	"response":      {0.000001, 0.000004, 0.000002},
+	"timeout":       {0.000009, 0.000010, 0.000014},
+	"uncorrectable": {0.002176, 0.002349, 0.002583},
+	"write":         {0.000117, 0.001309, 0.000162},
+}
+
+// PaperTable3 holds failure incidence (Table 3): failures and % failed.
+var PaperTable3 = map[string]struct {
+	Failures int
+	PctFail  float64
+}{
+	"MLC-A": {734, 6.95},
+	"MLC-B": {1565, 14.3},
+	"MLC-D": {1580, 12.5},
+	"All":   {3879, 11.29},
+}
+
+// PaperTable4 is the lifetime failure-count distribution (Table 4):
+// percentage of all drives with k failures, k = 0..4.
+var PaperTable4 = [5]float64{88.71, 10.10, 1.038, 0.133, 0.001}
+
+// PaperTable5 gives the percentage of swapped drives re-entering within
+// n days (Table 5), per model, for n = 10, 30, 100, 365, 730, 1095, ∞.
+var PaperTable5 = map[string][7]float64{
+	"MLC-A": {3.4, 5.0, 6.1, 17.4, 37.6, 43.6, 53.4},
+	"MLC-B": {6.8, 9.4, 12.7, 25.3, 36.1, 42.7, 43.9},
+	"MLC-D": {4.9, 8.1, 15.8, 28.1, 43.5, 50.2, 57.6},
+}
+
+// PaperTable6 holds the cross-validated ROC AUC of each model for each
+// lookahead window N in {1, 2, 3, 7} (Table 6).
+var PaperTable6 = map[string][4]float64{
+	"Logistic Reg.":  {0.796, 0.765, 0.745, 0.713},
+	"k-NN":           {0.816, 0.791, 0.772, 0.716},
+	"SVM":            {0.821, 0.795, 0.778, 0.728},
+	"Neural Network": {0.857, 0.828, 0.803, 0.770},
+	"Decision Tree":  {0.872, 0.840, 0.819, 0.780},
+	"Random Forest":  {0.905, 0.859, 0.839, 0.803},
+}
+
+// PaperTable6Lookaheads are the N values of Table 6's columns.
+var PaperTable6Lookaheads = [4]int{1, 2, 3, 7}
+
+// PaperTable7 is the random-forest transfer matrix for N=1 (Table 7):
+// rows = test model, columns = training model (A, B, D, All).
+var PaperTable7 = map[string][4]float64{
+	"MLC-A": {0.891, 0.871, 0.887, 0.901},
+	"MLC-B": {0.832, 0.892, 0.849, 0.893},
+	"MLC-D": {0.868, 0.857, 0.897, 0.901},
+}
+
+// PaperTable8 holds the random-forest ROC AUCs for predicting each error
+// type at N=2 (Table 8): combined, young, old. NaN-like -1 marks the
+// entries the paper leaves blank (response errors are too rare).
+var PaperTable8 = map[string][3]float64{
+	"bad_block":     {0.877, 0.878, 0.873},
+	"erase":         {0.889, 0.934, 0.882},
+	"final_read":    {0.906, 0.959, 0.852},
+	"final_write":   {0.841, 0.937, 0.780},
+	"meta":          {0.854, 0.890, 0.842},
+	"read":          {0.971, 0.917, 0.973},
+	"response":      {0.806, -1, -1},
+	"timeout":       {0.755, 0.812, 0.735},
+	"uncorrectable": {0.933, 0.960, 0.931},
+	"write":         {0.916, 0.911, 0.914},
+}
+
+// PaperFigure12 samples the random-forest AUC versus lookahead trend
+// (Figure 12): ~0.90 at N=1 declining to ~0.77 at N=30.
+var PaperFigure12 = map[int]float64{1: 0.905, 7: 0.803, 30: 0.77}
+
+// PaperFigure13AUC holds the per-model ROC AUCs at N=1 (Figure 13).
+var PaperFigure13AUC = map[string]float64{
+	"MLC-A": 0.905, "MLC-B": 0.900, "MLC-D": 0.918,
+}
+
+// PaperFigure15 holds the young/old evaluation AUCs (Figure 15) and the
+// AUCs when training separate age-partitioned models (§5.3).
+var PaperFigure15 = struct {
+	YoungEval, OldEval   float64
+	YoungSplit, OldSplit float64
+}{0.961, 0.894, 0.970, 0.890}
+
+// PaperFigure6 summarizes the infancy findings (Figure 6): share of
+// failures within 30 and 90 days of age.
+var PaperFigure6 = struct {
+	Within30, Within90 float64
+}{0.15, 0.25}
+
+// PaperObservations summarizes headline characterization numbers used in
+// notes: fraction of swaps preceded by non-reporting days, fraction
+// preceded by inactivity, fraction of failed drives never repaired, and
+// fraction of failures with no non-transparent errors or bad blocks.
+var PaperObservations = struct {
+	SwapsAfterNonReporting float64
+	SwapsAfterInactivity   float64
+	NeverRepaired          float64
+	AsymptomaticFailures   float64
+}{0.80, 0.36, 0.50, 0.26}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ssdfail/internal/report"
+	"ssdfail/internal/stats"
+)
+
+// SurvivalAnalysis refines Figures 3 and 5 with Kaplan-Meier estimates.
+// The paper displays censored mass as a bar at infinity; the
+// product-limit estimator instead uses every censored operational period
+// and repair as partial information, which shifts the curves upward —
+// the correct reading when >80% of operational periods and ~half the
+// repairs outlive the six-year trace.
+func SurvivalAnalysis(ctx *Context) *report.Table {
+	// Operational periods (time to failure).
+	var opObs []stats.Observation
+	for i := range ctx.An.Periods {
+		p := &ctx.An.Periods[i]
+		opObs = append(opObs, stats.Observation{
+			Time: float64(p.Length()), Censored: p.Censored,
+		})
+	}
+	opKM := stats.NewKaplanMeier(opObs)
+	opNaive := func() *stats.ECDF {
+		fin, cens := ctx.An.OperationalLengths()
+		return stats.NewCensoredECDF(fin, cens)
+	}()
+
+	// Repairs (time to re-entry).
+	var repObs []stats.Observation
+	for i := range ctx.An.Events {
+		e := &ctx.An.Events[i]
+		if e.RepairDays >= 0 {
+			repObs = append(repObs, stats.Observation{Time: float64(e.RepairDays)})
+		} else {
+			// Censored at the remaining trace length after the swap.
+			rem := float64(ctx.Fleet.Horizon - e.SwapDay)
+			if rem < 1 {
+				rem = 1
+			}
+			repObs = append(repObs, stats.Observation{Time: rem, Censored: true})
+		}
+	}
+	repKM := stats.NewKaplanMeier(repObs)
+	repNaive := func() *stats.ECDF {
+		obs, cens := ctx.An.RepairTimes()
+		return stats.NewCensoredECDF(obs, cens)
+	}()
+
+	tbl := &report.Table{
+		Title:   "Survival refinement of Figures 3 and 5 (Kaplan-Meier vs censored ECDF)",
+		Columns: []string{"Quantity", "t", "naive CDF", "KM CDF"},
+	}
+	for _, years := range []float64{1, 2, 4, 6} {
+		t := years * 365
+		tbl.AddRow("P(failure by t)", fmt.Sprintf("%gy", years),
+			report.F(opNaive.At(t), 3), report.F(opKM.CDF(t), 3))
+	}
+	for _, days := range []float64{10, 30, 100, 365, 1095} {
+		tbl.AddRow("P(repaired by t)", fmt.Sprintf("%gd", days),
+			report.F(repNaive.At(days), 3), report.F(repKM.CDF(days), 3))
+	}
+	tbl.AddRow("median repair (KM)", "", "", report.F(repKM.Median(), 0))
+	tbl.Notes = append(tbl.Notes,
+		"KM treats censored periods as at-risk exposure; the naive ECDF discards them into an infinity bar")
+	return tbl
+}

@@ -1,0 +1,250 @@
+// Package failure reconstructs the paper's Section 3 failure timeline
+// from the trace alone: each swap event is traced back to the failure
+// that caused it (the drive's last day of operational activity before
+// the swap), operational and non-operational periods are measured, and
+// the repair process is analyzed with right-censoring at the trace
+// horizon.
+package failure
+
+import (
+	"ssdfail/internal/trace"
+)
+
+// YoungAgeDays is the infant-mortality boundary: failures at age <= 90
+// days are "young", the rest "old" (Section 4.1).
+const YoungAgeDays = 90
+
+// Event describes one reconstructed swap-inducing failure.
+type Event struct {
+	DriveIdx int   // index into Fleet.Drives
+	SwapDay  int32 // day of the swap event
+	// FailDay is the reconstructed failure day: the last day of
+	// operational (read/write) activity before the swap. If the drive
+	// has no active record before the swap, the last record day is used.
+	FailDay    int32
+	FailRecIdx int   // index into Drive.Days of the failure-day record, or -1
+	Age        int32 // drive age at failure, or -1 if unknown
+	NonOpDays  int32 // SwapDay - FailDay (length of the non-operational period)
+	// ReturnDay is the first report day after the swap (re-entry from
+	// repair), or -1 if the drive is never observed to return.
+	ReturnDay  int32
+	RepairDays int32 // ReturnDay - SwapDay, or -1 if censored
+}
+
+// Young reports whether the failure occurred in the infant period.
+func (e *Event) Young() bool { return e.Age >= 0 && e.Age <= YoungAgeDays }
+
+// Period is one operational period: from entry into production (first
+// report of the drive's life, or re-entry after a repair) until failure,
+// or until the trace ends (censored).
+type Period struct {
+	DriveIdx int
+	Start    int32 // first day of the period
+	End      int32 // failure day, or last observation day when censored
+	Censored bool  // true if the period is not observed to end in failure
+}
+
+// Length returns the period length in days.
+func (p *Period) Length() int32 { return p.End - p.Start }
+
+// Analysis is the full reconstruction for one fleet.
+type Analysis struct {
+	Fleet   *trace.Fleet
+	Events  []Event  // all reconstructed failures, in drive order
+	Periods []Period // all operational periods
+
+	// PerDrive[i] lists the indices into Events for drive i.
+	PerDrive [][]int
+}
+
+// Analyze reconstructs failure events and operational periods for every
+// drive in the fleet.
+func Analyze(f *trace.Fleet) *Analysis {
+	a := &Analysis{Fleet: f, PerDrive: make([][]int, len(f.Drives))}
+	for i := range f.Drives {
+		a.analyzeDrive(i)
+	}
+	return a
+}
+
+func (a *Analysis) analyzeDrive(di int) {
+	d := &a.Fleet.Drives[di]
+	if len(d.Days) == 0 {
+		return
+	}
+	// prevBoundary is the day after which the current operational
+	// period's records begin (exclusive): the previous swap day.
+	prevBoundary := int32(-1)
+	for _, s := range d.Swaps {
+		ev := Event{DriveIdx: di, SwapDay: s.Day, FailRecIdx: -1, Age: -1,
+			ReturnDay: -1, RepairDays: -1}
+		// Scan records in (prevBoundary, swapDay) for the last active
+		// day; fall back to the last record in the window.
+		lastRec := -1
+		lastActive := -1
+		for j := range d.Days {
+			day := d.Days[j].Day
+			if day <= prevBoundary || day >= s.Day {
+				continue
+			}
+			lastRec = j
+			if d.Days[j].Active() {
+				lastActive = j
+			}
+		}
+		failIdx := lastActive
+		if failIdx < 0 {
+			failIdx = lastRec
+		}
+		var periodStart int32 = -1
+		for j := range d.Days {
+			if d.Days[j].Day > prevBoundary {
+				periodStart = d.Days[j].Day
+				break
+			}
+		}
+		if failIdx >= 0 {
+			ev.FailRecIdx = failIdx
+			ev.FailDay = d.Days[failIdx].Day
+			ev.Age = d.Days[failIdx].Age
+			ev.NonOpDays = s.Day - ev.FailDay
+			if periodStart >= 0 && periodStart <= ev.FailDay {
+				a.Periods = append(a.Periods, Period{
+					DriveIdx: di, Start: periodStart, End: ev.FailDay,
+				})
+			}
+		} else {
+			// No records in the window at all: the failure time is
+			// unknown; attribute it to the swap day itself.
+			ev.FailDay = s.Day
+			ev.NonOpDays = 0
+		}
+		// Re-entry: first record after the swap day.
+		for j := range d.Days {
+			if d.Days[j].Day > s.Day {
+				ev.ReturnDay = d.Days[j].Day
+				ev.RepairDays = ev.ReturnDay - s.Day
+				break
+			}
+		}
+		a.PerDrive[di] = append(a.PerDrive[di], len(a.Events))
+		a.Events = append(a.Events, ev)
+		prevBoundary = s.Day
+	}
+	// Trailing operational period after the last swap (or the whole
+	// life if the drive never swapped), censored at the last observation.
+	var start int32 = -1
+	var lastActive int32 = -1
+	for j := range d.Days {
+		day := d.Days[j].Day
+		if day <= prevBoundary {
+			continue
+		}
+		if start < 0 {
+			start = day
+		}
+		if d.Days[j].Active() {
+			lastActive = day
+		}
+	}
+	if start >= 0 && lastActive >= start {
+		a.Periods = append(a.Periods, Period{
+			DriveIdx: di, Start: start, End: lastActive, Censored: true,
+		})
+	}
+}
+
+// FailedDriveCount returns the number of drives with at least one event.
+func (a *Analysis) FailedDriveCount() int {
+	n := 0
+	for _, evs := range a.PerDrive {
+		if len(evs) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FailureCountDistribution returns counts[k] = number of drives with
+// exactly k failures, for k in [0, maxK]; drives with more than maxK
+// failures are counted in the last bucket.
+func (a *Analysis) FailureCountDistribution(maxK int) []int {
+	counts := make([]int, maxK+1)
+	for _, evs := range a.PerDrive {
+		k := len(evs)
+		if k > maxK {
+			k = maxK
+		}
+		counts[k]++
+	}
+	return counts
+}
+
+// FailDaysByDrive returns, for each drive, the sorted list of
+// reconstructed failure days — the labeling input for prediction.
+func (a *Analysis) FailDaysByDrive() [][]int32 {
+	out := make([][]int32, len(a.PerDrive))
+	for di, evs := range a.PerDrive {
+		for _, ei := range evs {
+			out[di] = append(out[di], a.Events[ei].FailDay)
+		}
+	}
+	return out
+}
+
+// RepairTimes splits events into observed repair durations and a count
+// of censored (never-returned) repairs, the input to Figure 5/Table 5.
+func (a *Analysis) RepairTimes() (observed []float64, censored int) {
+	for i := range a.Events {
+		if a.Events[i].RepairDays >= 0 {
+			observed = append(observed, float64(a.Events[i].RepairDays))
+		} else {
+			censored++
+		}
+	}
+	return observed, censored
+}
+
+// NonOpDurations returns the non-operational period lengths in days
+// (Figure 4). Events with unknown failure days contribute 0.
+func (a *Analysis) NonOpDurations() []float64 {
+	out := make([]float64, 0, len(a.Events))
+	for i := range a.Events {
+		out = append(out, float64(a.Events[i].NonOpDays))
+	}
+	return out
+}
+
+// OperationalLengths returns finished operational period lengths and the
+// number of censored periods (Figure 3).
+func (a *Analysis) OperationalLengths() (finished []float64, censored int) {
+	for i := range a.Periods {
+		if a.Periods[i].Censored {
+			censored++
+		} else {
+			finished = append(finished, float64(a.Periods[i].Length()))
+		}
+	}
+	return finished, censored
+}
+
+// FailureAges returns the drive age (in days) at each failure with a
+// known age (Figure 6).
+func (a *Analysis) FailureAges() []float64 {
+	var out []float64
+	for i := range a.Events {
+		if a.Events[i].Age >= 0 {
+			out = append(out, float64(a.Events[i].Age))
+		}
+	}
+	return out
+}
+
+// FailureRecord returns the day record at the reconstructed failure day
+// of the event, or nil if none exists.
+func (a *Analysis) FailureRecord(e *Event) *trace.DayRecord {
+	if e.FailRecIdx < 0 {
+		return nil
+	}
+	return &a.Fleet.Drives[e.DriveIdx].Days[e.FailRecIdx]
+}

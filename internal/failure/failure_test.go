@@ -1,0 +1,289 @@
+package failure
+
+import (
+	"testing"
+
+	"ssdfail/internal/fleetsim"
+	"ssdfail/internal/trace"
+)
+
+// buildDrive constructs a drive with the given (day, active) reports.
+type rep struct {
+	day    int32
+	active bool
+}
+
+func buildDrive(id uint32, first int32, reps []rep, swaps ...int32) trace.Drive {
+	d := trace.Drive{ID: id, Model: trace.MLCA}
+	for _, r := range reps {
+		rec := trace.DayRecord{Day: r.day, Age: r.day - first}
+		if r.active {
+			rec.Reads = 100
+			rec.Writes = 100
+		}
+		d.Days = append(d.Days, rec)
+	}
+	for _, s := range swaps {
+		d.Swaps = append(d.Swaps, trace.SwapEvent{Day: s})
+	}
+	return d
+}
+
+func analyzeOne(d trace.Drive) *Analysis {
+	f := &trace.Fleet{Horizon: 1000, Drives: []trace.Drive{d}}
+	return Analyze(f)
+}
+
+func TestSimpleSwapReconstruction(t *testing.T) {
+	// Active days 10..14, inactive 15..16, swap at 18.
+	d := buildDrive(1, 10, []rep{
+		{10, true}, {11, true}, {12, true}, {13, true}, {14, true},
+		{15, false}, {16, false},
+	}, 18)
+	a := analyzeOne(d)
+	if len(a.Events) != 1 {
+		t.Fatalf("events = %d, want 1", len(a.Events))
+	}
+	e := a.Events[0]
+	if e.FailDay != 14 {
+		t.Errorf("FailDay = %d, want 14 (last active day)", e.FailDay)
+	}
+	if e.NonOpDays != 4 {
+		t.Errorf("NonOpDays = %d, want 4", e.NonOpDays)
+	}
+	if e.Age != 4 {
+		t.Errorf("Age = %d, want 4", e.Age)
+	}
+	if e.ReturnDay != -1 || e.RepairDays != -1 {
+		t.Errorf("expected censored repair, got return=%d repair=%d", e.ReturnDay, e.RepairDays)
+	}
+	if len(a.Periods) != 1 {
+		t.Fatalf("periods = %d, want 1", len(a.Periods))
+	}
+	p := a.Periods[0]
+	if p.Start != 10 || p.End != 14 || p.Censored {
+		t.Errorf("period = %+v", p)
+	}
+}
+
+func TestNonReportingGapBeforeSwap(t *testing.T) {
+	// Drive stops reporting entirely after day 20; swap at 30.
+	d := buildDrive(1, 10, []rep{{10, true}, {15, true}, {20, true}}, 30)
+	a := analyzeOne(d)
+	e := a.Events[0]
+	if e.FailDay != 20 {
+		t.Errorf("FailDay = %d, want 20", e.FailDay)
+	}
+	if e.NonOpDays != 10 {
+		t.Errorf("NonOpDays = %d, want 10", e.NonOpDays)
+	}
+}
+
+func TestRepairReentry(t *testing.T) {
+	d := buildDrive(1, 10, []rep{
+		{10, true}, {11, true},
+		{50, true}, {51, true}, // re-entry after repair
+	}, 15)
+	a := analyzeOne(d)
+	if len(a.Events) != 1 {
+		t.Fatalf("events = %d", len(a.Events))
+	}
+	e := a.Events[0]
+	if e.ReturnDay != 50 {
+		t.Errorf("ReturnDay = %d, want 50", e.ReturnDay)
+	}
+	if e.RepairDays != 35 {
+		t.Errorf("RepairDays = %d, want 35", e.RepairDays)
+	}
+	// Should have two periods: one failed, one censored post-return.
+	if len(a.Periods) != 2 {
+		t.Fatalf("periods = %d, want 2", len(a.Periods))
+	}
+	if !a.Periods[1].Censored || a.Periods[1].Start != 50 || a.Periods[1].End != 51 {
+		t.Errorf("trailing period = %+v", a.Periods[1])
+	}
+}
+
+func TestTwoSwaps(t *testing.T) {
+	d := buildDrive(1, 10, []rep{
+		{10, true}, {12, true},
+		{40, true}, {42, true}, {43, false},
+	}, 15, 50)
+	a := analyzeOne(d)
+	if len(a.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(a.Events))
+	}
+	if a.Events[0].FailDay != 12 || a.Events[1].FailDay != 42 {
+		t.Errorf("fail days = %d, %d; want 12, 42", a.Events[0].FailDay, a.Events[1].FailDay)
+	}
+	if a.Events[0].ReturnDay != 40 {
+		t.Errorf("first return = %d, want 40", a.Events[0].ReturnDay)
+	}
+	if a.Events[1].ReturnDay != -1 {
+		t.Errorf("second return = %d, want -1", a.Events[1].ReturnDay)
+	}
+	dist := a.FailureCountDistribution(4)
+	if dist[2] != 1 {
+		t.Errorf("failure count distribution = %v", dist)
+	}
+}
+
+func TestNoSwapAllCensored(t *testing.T) {
+	d := buildDrive(1, 10, []rep{{10, true}, {20, true}, {30, true}})
+	a := analyzeOne(d)
+	if len(a.Events) != 0 {
+		t.Fatalf("events = %d, want 0", len(a.Events))
+	}
+	if len(a.Periods) != 1 || !a.Periods[0].Censored {
+		t.Fatalf("periods = %+v", a.Periods)
+	}
+	if a.Periods[0].Length() != 20 {
+		t.Errorf("censored length = %d, want 20", a.Periods[0].Length())
+	}
+	if a.FailedDriveCount() != 0 {
+		t.Error("FailedDriveCount should be 0")
+	}
+}
+
+func TestSwapWithNoWindowRecords(t *testing.T) {
+	// Swap before any record in its window: unknown failure time.
+	d := buildDrive(1, 30, []rep{{30, true}}, 20)
+	a := analyzeOne(d)
+	if len(a.Events) != 1 {
+		t.Fatalf("events = %d", len(a.Events))
+	}
+	e := a.Events[0]
+	if e.FailRecIdx != -1 || e.FailDay != 20 || e.NonOpDays != 0 {
+		t.Errorf("unknown-failure event = %+v", e)
+	}
+	if e.Age != -1 {
+		t.Errorf("Age = %d, want -1", e.Age)
+	}
+}
+
+func TestEmptyDrive(t *testing.T) {
+	d := trace.Drive{ID: 1, Model: trace.MLCA}
+	a := analyzeOne(d)
+	if len(a.Events) != 0 || len(a.Periods) != 0 {
+		t.Error("empty drive should produce nothing")
+	}
+}
+
+func TestInactiveOnlyWindowFallsBack(t *testing.T) {
+	// All records in window are inactive; failure day = last record.
+	d := buildDrive(1, 10, []rep{{10, false}, {11, false}}, 14)
+	a := analyzeOne(d)
+	if a.Events[0].FailDay != 11 {
+		t.Errorf("FailDay = %d, want 11", a.Events[0].FailDay)
+	}
+}
+
+func TestYoungClassification(t *testing.T) {
+	e := Event{Age: 90}
+	if !e.Young() {
+		t.Error("age 90 should be young (boundary)")
+	}
+	e.Age = 91
+	if e.Young() {
+		t.Error("age 91 should be old")
+	}
+	e.Age = -1
+	if e.Young() {
+		t.Error("unknown age should not be young")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	d1 := buildDrive(1, 10, []rep{{10, true}, {12, true}, {40, true}}, 15)
+	d2 := buildDrive(2, 10, []rep{{10, true}, {20, true}}, 25)
+	f := &trace.Fleet{Horizon: 1000, Drives: []trace.Drive{d1, d2}}
+	a := Analyze(f)
+
+	obs, cens := a.RepairTimes()
+	if len(obs) != 1 || obs[0] != 25 || cens != 1 {
+		t.Errorf("RepairTimes = %v, %d", obs, cens)
+	}
+	nonOp := a.NonOpDurations()
+	if len(nonOp) != 2 || nonOp[0] != 3 || nonOp[1] != 5 {
+		t.Errorf("NonOpDurations = %v", nonOp)
+	}
+	fin, cens2 := a.OperationalLengths()
+	if len(fin) != 2 || cens2 != 1 {
+		t.Errorf("OperationalLengths = %v, %d", fin, cens2)
+	}
+	ages := a.FailureAges()
+	if len(ages) != 2 || ages[0] != 2 || ages[1] != 10 {
+		t.Errorf("FailureAges = %v", ages)
+	}
+	fd := a.FailDaysByDrive()
+	if len(fd) != 2 || fd[0][0] != 12 || fd[1][0] != 20 {
+		t.Errorf("FailDaysByDrive = %v", fd)
+	}
+	if rec := a.FailureRecord(&a.Events[0]); rec == nil || rec.Day != 12 {
+		t.Errorf("FailureRecord = %+v", rec)
+	}
+	missing := Event{FailRecIdx: -1}
+	if a.FailureRecord(&missing) != nil {
+		t.Error("FailureRecord of unknown failure should be nil")
+	}
+}
+
+// TestReconstructionMatchesSimulatorTruth validates the reconstruction
+// against the generator's ground truth on a simulated fleet: every
+// observed swap must be reconstructed, and the reconstructed failure day
+// must be at or slightly before the true failure day (earlier only when
+// the true failure day's report was dropped).
+func TestReconstructionMatchesSimulatorTruth(t *testing.T) {
+	cfg := fleetsim.DefaultConfig(21, 150)
+	cfg.HorizonDays = 1500
+	cfg.EarlyWindow = 400
+	fleet, truth, err := fleetsim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(fleet)
+
+	truthSwaps := 0
+	exact, near, total := 0, 0, 0
+	for di := range truth.Drives {
+		evIdx := 0
+		for _, ft := range truth.Drives[di].Failures {
+			if ft.SwapDay < 0 {
+				continue // censored beyond horizon: invisible to the trace
+			}
+			truthSwaps++
+			if evIdx >= len(a.PerDrive[di]) {
+				t.Errorf("drive %d: truth swap at %d not reconstructed", di, ft.SwapDay)
+				continue
+			}
+			e := &a.Events[a.PerDrive[di][evIdx]]
+			evIdx++
+			if e.SwapDay != ft.SwapDay {
+				t.Errorf("drive %d: swap day %d != truth %d", di, e.SwapDay, ft.SwapDay)
+			}
+			total++
+			switch {
+			case e.FailDay == ft.FailDay:
+				exact++
+			case e.FailDay < ft.FailDay && ft.FailDay-e.FailDay <= 7:
+				near++
+			default:
+				t.Errorf("drive %d: reconstructed fail day %d vs truth %d",
+					di, e.FailDay, ft.FailDay)
+			}
+		}
+	}
+	if truthSwaps != len(a.Events) {
+		t.Errorf("reconstructed %d events, truth has %d observed swaps",
+			len(a.Events), truthSwaps)
+	}
+	if total == 0 {
+		t.Fatal("no failures to compare")
+	}
+	// The failure day is always recorded by the simulator, so the match
+	// should be essentially exact.
+	if frac := float64(exact) / float64(total); frac < 0.95 {
+		t.Errorf("exact fail-day reconstruction rate = %.3f (exact=%d near=%d total=%d)",
+			frac, exact, near, total)
+	}
+}

@@ -1,0 +1,283 @@
+package fleetsim
+
+import (
+	"fmt"
+
+	"ssdfail/internal/trace"
+)
+
+// ModelConfig holds the generative parameters for one drive model. The
+// defaults are calibrated so the simulated fleet reproduces the published
+// statistics of the corresponding MLC model (see DESIGN.md §2 for the
+// target list and EXPERIMENTS.md for measured agreement).
+type ModelConfig struct {
+	Model  trace.Model
+	Drives int // number of drives of this model
+
+	// Failure process. The per-day failure hazard is
+	//
+	//	h(age) = InfantHazard * exp(-age/InfantDecayDays)
+	//	       + BaseHazard * (1 + WearCoef * PE/1500)
+	//
+	// scaled by UEProneHazardMult for error-prone drives. The infant
+	// term produces the paper's 90-day infant-mortality period
+	// (Figure 6); the base term gives the roughly constant mature
+	// failure rate (Observation #7); WearCoef adds the mild
+	// wear-and-tear dependence that makes mature failures partially
+	// predictable from usage features (Figure 16, bottom).
+	BaseHazard        float64
+	InfantHazard      float64
+	InfantDecayDays   float64
+	WearCoef          float64
+	UEProneHazardMult float64
+	// ErrProneHazardExp couples the per-drive error-proneness factor to
+	// the hazard (h *= errProne^exp). This makes failure partially
+	// predictable from a drive's lifetime error history at *any*
+	// lookahead, which is why the paper's AUC stays near 0.77 even at
+	// N=30 (Figure 12) while the final-days ramp only helps small N.
+	ErrProneHazardExp float64
+
+	// Workload. Daily writes are
+	//
+	//	WriteScale * activity * (1 - YoungWriteDeficit*exp(-age/WriteRampDays)) * LN(1, WriteSigma)
+	//
+	// where activity is a per-drive lognormal factor. Young drives see
+	// *fewer* writes than mature ones (Figure 7) — the paper uses this
+	// to rule out burn-in stress as the cause of infant mortality.
+	WriteScale        float64 // mature median writes/day
+	YoungWriteDeficit float64 // fractional write deficit at age 0
+	WriteRampDays     float64 // e-folding of the young deficit
+	WriteSigma        float64 // day-to-day lognormal sigma
+	ActivitySigma     float64 // per-drive activity lognormal sigma
+	ReadsPerWrite     float64 // mean reads per write
+	WritesPerErase    float64 // block-erase granularity
+	WritesPerPECycle  float64 // cumulative writes per P/E cycle
+
+	// Error processes: presence probability per drive-day and count
+	// magnitude when present. All presence probabilities (except
+	// correctable) are multiplied by a per-drive lognormal
+	// error-proneness factor, which induces the mild positive Spearman
+	// correlations among cumulative counts (Table 2).
+	CorrectableMean   float64 // Poisson mean of correctable "events"/day
+	CorrectableScale  float64 // bits corrected per event (lognormal median)
+	UEProneProb       float64 // share of drives that are UE-prone
+	UEProneDayProb    float64 // P(UE day) for prone drives
+	UEBaseDayProb     float64 // P(UE day) for other drives
+	FinalReadGivenUE  float64 // P(final read error day | UE day)
+	FinalReadRatio    float64 // final read count as a fraction of UE count
+	EraseErrBase      float64 // erase-error day probability at zero wear
+	EraseErrWear      float64 // additional probability per unit PE/3000
+	WriteErrDayProb   float64 // model-dependent (MLC-B is 10x the others)
+	ReadErrDayProb    float64
+	MetaDayProb       float64
+	ResponseDayProb   float64
+	TimeoutDayProb    float64
+	FinalWriteDayProb float64
+	ErrorProneSigma   float64 // lognormal sigma of the proneness factor
+
+	// Bad blocks.
+	FactoryBadBlockMean float64 // Poisson mean of factory bad blocks
+	GrownPerErrorProb   float64 // P(retire block) per erase/UE error event
+	GrownBackgroundProb float64 // per-day background block retirement
+
+	// Failure symptom classes (Section 4.2): Asymptomatic failures show
+	// no non-transparent errors and grow no bad blocks over their whole
+	// life (26% of failures in the paper); severe failures produce
+	// orders-of-magnitude error bursts and are the signature of infant
+	// failures (Figure 10).
+	AsymptomaticProb float64
+	SevereProb       float64 // of the symptomatic share
+	RampMeanDays     float64 // mean symptom-ramp length before failure
+	RampUEDayProb    float64 // extra P(UE day) at ramp peak (kept modest:
+	// most failed drives never see a UE even in their final week, §4.2)
+	RampUEBurstMin    float64 // Pareto minimum of ramp UE counts
+	RampUEBurstAlpha  float64 // Pareto tail index of ramp UE counts
+	YoungSeverityMult float64 // extra burst multiplier for infant failures
+	ReadOnlyProb      float64 // P(drive enters read-only mode during ramp)
+	CorrRampBoost     float64 // correctable-error swell factor at ramp peak
+	WorkloadDipFrac   float64 // throughput suppression at ramp peak
+	// YoungSymptomBoost scales the ramp's UE probability, correctable
+	// swell, ramp length, and read-only probability for infant failures
+	// (age <= 90 days): their symptoms are earlier and stronger, which
+	// is why the paper finds young failures fundamentally more
+	// predictable (§5.3, Figure 15).
+	YoungSymptomBoost float64
+
+	// Swap pipeline (Section 3).
+	InactivityProb   float64 // P(soft-removal inactivity period after failure)
+	InactivityMean   float64 // mean length of that period (days, geometric)
+	NonReportProb    float64 // P(non-reporting gap before the swap)
+	SwapWithin1Prob  float64 // P(swap within 1 day)   — Figure 4 mixture
+	SwapWeekProb     float64 // P(swap in 2..7 days)
+	SwapTailLogMu    float64 // lognormal tail of the non-op period
+	SwapTailLogSigma float64
+	NeverReturnProb  float64 // intrinsic share of swapped drives never repaired
+	RepairLogMuDays  float64 // lognormal time-to-repair (Figure 5)
+	RepairLogSigma   float64
+
+	// Reporting.
+	ReportProb float64 // per-day probability a report is logged
+}
+
+// FleetConfig configures a full multi-model fleet generation run.
+type FleetConfig struct {
+	Seed        uint64
+	HorizonDays int32 // trace length; the paper's spans six years (2190)
+	Models      []ModelConfig
+	Workers     int // parallelism; <= 0 means all CPUs
+
+	// Deployment: EarlyFrac of drives arrive uniformly in
+	// [0, EarlyWindow); the rest arrive uniformly in
+	// [EarlyWindow, HorizonDays-60). This reproduces Figure 1's
+	// max-age CDF in which over half the drives are observed 4–6 years.
+	EarlyFrac   float64
+	EarlyWindow int32
+}
+
+// defaultModel returns the shared parameter base for one model.
+func defaultModel(m trace.Model, drives int) ModelConfig {
+	c := ModelConfig{
+		Model:  m,
+		Drives: drives,
+
+		InfantDecayDays:   35,
+		WearCoef:          0.3,
+		UEProneHazardMult: 2.5,
+		ErrProneHazardExp: 1.0,
+
+		WriteScale:        1.0e8,
+		YoungWriteDeficit: 0.55,
+		WriteRampDays:     180,
+		WriteSigma:        0.5,
+		ActivitySigma:     0.45,
+		ReadsPerWrite:     1.8,
+		WritesPerErase:    64,
+		WritesPerPECycle:  2.2e8,
+
+		CorrectableMean:   1.8,
+		CorrectableScale:  3000,
+		UEProneProb:       0.15,
+		UEProneDayProb:    0.013,
+		UEBaseDayProb:     0.00012,
+		FinalReadGivenUE:  0.62,
+		FinalReadRatio:    0.45,
+		EraseErrBase:      0.0003,
+		EraseErrWear:      0.0012,
+		WriteErrDayProb:   0.00013,
+		ReadErrDayProb:    0.0001,
+		MetaDayProb:       2.0e-5,
+		ResponseDayProb:   2.5e-6,
+		TimeoutDayProb:    1.1e-5,
+		FinalWriteDayProb: 3.0e-5,
+		ErrorProneSigma:   0.8,
+
+		FactoryBadBlockMean: 3,
+		GrownPerErrorProb:   0.06,
+		GrownBackgroundProb: 0.0008,
+
+		AsymptomaticProb:  0.26,
+		SevereProb:        0.40,
+		RampMeanDays:      4,
+		RampUEDayProb:     0.25,
+		RampUEBurstMin:    50,
+		RampUEBurstAlpha:  0.9,
+		YoungSeverityMult: 80,
+		ReadOnlyProb:      0.18,
+		CorrRampBoost:     15,
+		WorkloadDipFrac:   0.5,
+		YoungSymptomBoost: 2.2,
+
+		InactivityProb:   0.36,
+		InactivityMean:   3,
+		NonReportProb:    0.80,
+		SwapWithin1Prob:  0.20,
+		SwapWeekProb:     0.60,
+		SwapTailLogMu:    3.4, // median ~30 days for the tail component
+		SwapTailLogSigma: 1.3,
+		NeverReturnProb:  0.30,
+		RepairLogMuDays:  6.0, // median ~400 days
+		RepairLogSigma:   1.2,
+
+		ReportProb: 0.97,
+	}
+	return c
+}
+
+// DefaultModelConfig returns the calibrated configuration for one of the
+// paper's three drive models.
+func DefaultModelConfig(m trace.Model, drives int) ModelConfig {
+	c := defaultModel(m, drives)
+	switch m {
+	case trace.MLCA: // 6.95% failed
+		c.BaseHazard = 2.8e-5
+		c.InfantHazard = 3.8e-4
+		c.WriteErrDayProb = 0.00012
+	case trace.MLCB: // 14.3% failed; 10x write-error incidence (Table 1)
+		c.BaseHazard = 6.1e-5
+		c.InfantHazard = 7.8e-4
+		c.WriteErrDayProb = 0.0013
+	case trace.MLCD: // 12.5% failed
+		c.BaseHazard = 5.2e-5
+		c.InfantHazard = 6.8e-4
+		c.WriteErrDayProb = 0.00016
+	}
+	return c
+}
+
+// DefaultConfig returns a full-fleet configuration with drivesPerModel
+// drives of each of the three models over a six-year horizon.
+func DefaultConfig(seed uint64, drivesPerModel int) FleetConfig {
+	return FleetConfig{
+		Seed:        seed,
+		HorizonDays: 2190,
+		Models: []ModelConfig{
+			DefaultModelConfig(trace.MLCA, drivesPerModel),
+			DefaultModelConfig(trace.MLCB, drivesPerModel),
+			DefaultModelConfig(trace.MLCD, drivesPerModel),
+		},
+		EarlyFrac:   0.55,
+		EarlyWindow: 500,
+	}
+}
+
+// Validate checks the configuration for structural errors.
+func (c *FleetConfig) Validate() error {
+	if c.HorizonDays < 90 {
+		return fmt.Errorf("fleetsim: horizon %d too short (need >= 90 days)", c.HorizonDays)
+	}
+	if len(c.Models) == 0 {
+		return fmt.Errorf("fleetsim: no models configured")
+	}
+	if c.EarlyFrac < 0 || c.EarlyFrac > 1 {
+		return fmt.Errorf("fleetsim: EarlyFrac %v outside [0,1]", c.EarlyFrac)
+	}
+	if c.EarlyWindow <= 0 || c.EarlyWindow >= c.HorizonDays-60 {
+		return fmt.Errorf("fleetsim: EarlyWindow %d outside (0, horizon-60)", c.EarlyWindow)
+	}
+	for i := range c.Models {
+		m := &c.Models[i]
+		if m.Drives < 0 {
+			return fmt.Errorf("fleetsim: model %v has negative drive count", m.Model)
+		}
+		for name, p := range map[string]float64{
+			"AsymptomaticProb": m.AsymptomaticProb,
+			"SevereProb":       m.SevereProb,
+			"UEProneProb":      m.UEProneProb,
+			"NonReportProb":    m.NonReportProb,
+			"InactivityProb":   m.InactivityProb,
+			"NeverReturnProb":  m.NeverReturnProb,
+			"ReportProb":       m.ReportProb,
+		} {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("fleetsim: model %v: %s = %v outside [0,1]", m.Model, name, p)
+			}
+		}
+		if m.WritesPerPECycle <= 0 {
+			return fmt.Errorf("fleetsim: model %v: WritesPerPECycle must be positive", m.Model)
+		}
+		if m.SwapWithin1Prob+m.SwapWeekProb > 1 {
+			return fmt.Errorf("fleetsim: model %v: swap mixture exceeds 1", m.Model)
+		}
+	}
+	return nil
+}

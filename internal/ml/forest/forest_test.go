@@ -1,0 +1,123 @@
+package forest
+
+import (
+	"testing"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/ml/mltest"
+)
+
+func TestLearnsSeparableBlobs(t *testing.T) {
+	train := mltest.TwoBlobs(300, 3, 1)
+	test := mltest.TwoBlobs(150, 3, 2)
+	m := New(Config{Trees: 40, MaxDepth: 10, MinLeaf: 2, Seed: 1})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, test.Len())
+	for i := range scores {
+		scores[i] = m.Score(test.Row(i))
+	}
+	if auc := mltest.AUC(scores, test.Y); auc < 0.95 {
+		t.Errorf("AUC = %.3f, want >= 0.95", auc)
+	}
+}
+
+func TestHandlesNonlinearXOR(t *testing.T) {
+	train := mltest.XOR(800, 1)
+	test := mltest.XOR(400, 2)
+	m := New(Config{Trees: 60, MaxDepth: 10, MinLeaf: 2, Seed: 1})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, test.Len())
+	for i := range scores {
+		scores[i] = m.Score(test.Row(i))
+	}
+	if auc := mltest.AUC(scores, test.Y); auc < 0.85 {
+		t.Errorf("XOR AUC = %.3f", auc)
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	train := mltest.TwoBlobs(200, 2, 3)
+	a := New(Config{Trees: 16, MaxDepth: 8, MinLeaf: 2, Seed: 5, Workers: 1})
+	b := New(Config{Trees: 16, MaxDepth: 8, MinLeaf: 2, Seed: 5, Workers: 8})
+	if err := a.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if a.Score(train.Row(i)) != b.Score(train.Row(i)) {
+			t.Fatal("forest differs across worker counts")
+		}
+	}
+}
+
+func TestImportancesIdentifySignal(t *testing.T) {
+	train := mltest.TwoBlobs(500, 3, 4)
+	m := New(Config{Trees: 30, MaxDepth: 10, MinLeaf: 2, Seed: 2})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	imp := m.Importances()
+	if len(imp) != dataset.NumFeatures {
+		t.Fatalf("importances len = %d", len(imp))
+	}
+	var signal, sum float64
+	for f, v := range imp {
+		sum += v
+		if f < 3 {
+			signal += v
+		}
+	}
+	if sum < 0.9 || sum > 1.1 {
+		t.Errorf("importances sum = %v", sum)
+	}
+	if signal/sum < 0.6 {
+		t.Errorf("signal share = %.3f, want >= 0.6", signal/sum)
+	}
+}
+
+func TestEmptyTrainingSetErrors(t *testing.T) {
+	m := New(DefaultConfig())
+	if err := m.Fit(&dataset.Matrix{}); err == nil {
+		t.Error("Fit on empty set should error")
+	}
+	if s := m.Score(make([]float64, dataset.NumFeatures)); s != 0.5 {
+		t.Errorf("untrained Score = %v", s)
+	}
+	if imp := m.Importances(); len(imp) != dataset.NumFeatures {
+		t.Error("untrained Importances should still be sized")
+	}
+}
+
+func TestForestBeatsSingleTreeOnNoisyData(t *testing.T) {
+	// With weak signal, bagging should not do worse than one tree.
+	train := mltest.TwoBlobs(400, 1.0, 6)
+	test := mltest.TwoBlobs(400, 1.0, 7)
+	f := New(Config{Trees: 80, MaxDepth: 12, MinLeaf: 1, Seed: 1})
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	single := New(Config{Trees: 1, MaxDepth: 12, MinLeaf: 1, Seed: 1})
+	if err := single.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	score := func(m *Forest) float64 {
+		s := make([]float64, test.Len())
+		for i := range s {
+			s[i] = m.Score(test.Row(i))
+		}
+		return mltest.AUC(s, test.Y)
+	}
+	fa, sa := score(f), score(single)
+	if fa+0.02 < sa {
+		t.Errorf("forest AUC %.3f clearly below single tree %.3f", fa, sa)
+	}
+	if f.TreeCount() != 80 {
+		t.Errorf("TreeCount = %d", f.TreeCount())
+	}
+}

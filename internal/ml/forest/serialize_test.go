@@ -1,0 +1,64 @@
+package forest
+
+import (
+	"testing"
+
+	"ssdfail/internal/ml/mltest"
+)
+
+func TestForestSerializationRoundTrip(t *testing.T) {
+	train := mltest.TwoBlobs(200, 3, 1)
+	f := New(Config{Trees: 20, MaxDepth: 8, MinLeaf: 2, Seed: 3})
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Forest
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.TreeCount() != f.TreeCount() {
+		t.Fatalf("tree count %d vs %d", g.TreeCount(), f.TreeCount())
+	}
+	for i := 0; i < train.Len(); i += 7 {
+		x := train.Row(i)
+		if f.Score(x) != g.Score(x) {
+			t.Fatalf("score mismatch at row %d", i)
+		}
+	}
+	fi, gi := f.Importances(), g.Importances()
+	for i := range fi {
+		if fi[i] != gi[i] {
+			t.Fatal("importances differ after round trip")
+		}
+	}
+}
+
+func TestForestUnmarshalRejectsGarbage(t *testing.T) {
+	var f Forest
+	cases := [][]byte{
+		nil,
+		[]byte("junk"),
+		[]byte("FRSTxxxxxxxxxxxx"),
+	}
+	for _, c := range cases {
+		if err := f.UnmarshalBinary(c); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+	// Truncation of a valid stream must fail, not panic.
+	train := mltest.TwoBlobs(50, 3, 2)
+	g := New(Config{Trees: 3, MaxDepth: 4, MinLeaf: 2, Seed: 1})
+	if err := g.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := g.MarshalBinary()
+	for _, cut := range []int{5, 13, len(data) / 2, len(data) - 3} {
+		if err := f.UnmarshalBinary(data[:cut]); err == nil {
+			t.Errorf("accepted truncation at %d", cut)
+		}
+	}
+}

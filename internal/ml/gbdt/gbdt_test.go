@@ -1,0 +1,130 @@
+package gbdt
+
+import (
+	"testing"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/ml/mltest"
+)
+
+func TestLearnsSeparableBlobs(t *testing.T) {
+	train := mltest.TwoBlobs(300, 3, 1)
+	test := mltest.TwoBlobs(150, 3, 2)
+	m := New(DefaultConfig())
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, test.Len())
+	for i := range scores {
+		scores[i] = m.Score(test.Row(i))
+	}
+	if auc := mltest.AUC(scores, test.Y); auc < 0.95 {
+		t.Errorf("AUC = %.3f, want >= 0.95", auc)
+	}
+}
+
+func TestHandlesNonlinearXOR(t *testing.T) {
+	// Unlike a single greedy tree, boosting with depth-2+ trees can
+	// carve XOR given enough rounds.
+	train := mltest.XOR(800, 1)
+	test := mltest.XOR(400, 2)
+	m := New(Config{Rounds: 200, MaxDepth: 3, MinLeaf: 3, LearnRate: 0.15, Subsample: 1, Seed: 1})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, test.Len())
+	for i := range scores {
+		scores[i] = m.Score(test.Row(i))
+	}
+	if auc := mltest.AUC(scores, test.Y); auc < 0.80 {
+		t.Errorf("XOR AUC = %.3f, want >= 0.80", auc)
+	}
+}
+
+func TestHandlesBand(t *testing.T) {
+	train := mltest.Band(600, 3)
+	test := mltest.Band(300, 4)
+	m := New(DefaultConfig())
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, test.Len())
+	for i := range scores {
+		scores[i] = m.Score(test.Row(i))
+	}
+	if auc := mltest.AUC(scores, test.Y); auc < 0.93 {
+		t.Errorf("band AUC = %.3f", auc)
+	}
+}
+
+func TestScoreRange(t *testing.T) {
+	train := mltest.TwoBlobs(100, 2, 5)
+	m := New(DefaultConfig())
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < train.Len(); i++ {
+		if s := m.Score(train.Row(i)); s < 0 || s > 1 {
+			t.Fatalf("score %v outside [0,1]", s)
+		}
+	}
+	if m.Rounds() == 0 {
+		t.Error("no trees fitted")
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	m := New(DefaultConfig())
+	if err := m.Fit(&dataset.Matrix{}); err == nil {
+		t.Error("empty training set should error")
+	}
+	single := mltest.TwoBlobs(20, 1, 6)
+	for i := range single.Y {
+		single.Y[i] = 1
+	}
+	if err := m.Fit(single); err == nil {
+		t.Error("single-class training set should error")
+	}
+	if s := m.Score(make([]float64, dataset.NumFeatures)); s != 0.5 {
+		t.Errorf("untrained score = %v", s)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	train := mltest.TwoBlobs(150, 2, 7)
+	a, b := New(DefaultConfig()), New(DefaultConfig())
+	if err := a.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if a.Score(train.Row(i)) != b.Score(train.Row(i)) {
+			t.Fatal("same-seed boosters disagree")
+		}
+	}
+}
+
+func TestMoreRoundsFitTrainingBetter(t *testing.T) {
+	train := mltest.TwoBlobs(300, 1.5, 8) // noisy
+	few := New(Config{Rounds: 5, MaxDepth: 3, MinLeaf: 3, LearnRate: 0.1, Subsample: 1, Seed: 1})
+	many := New(Config{Rounds: 150, MaxDepth: 3, MinLeaf: 3, LearnRate: 0.1, Subsample: 1, Seed: 1})
+	if err := few.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := many.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	aucOf := func(m *Model) float64 {
+		s := make([]float64, train.Len())
+		for i := range s {
+			s[i] = m.Score(train.Row(i))
+		}
+		return mltest.AUC(s, train.Y)
+	}
+	if aucOf(many) <= aucOf(few) {
+		t.Errorf("more rounds should fit training data better: %.3f vs %.3f",
+			aucOf(many), aucOf(few))
+	}
+}

@@ -1,0 +1,199 @@
+// Package knn implements a k-nearest-neighbor classifier backed by a
+// KD-tree over standardized features, with inverse-distance-weighted
+// voting.
+package knn
+
+import (
+	"container/heap"
+	"errors"
+	"sort"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/ml"
+)
+
+// Config holds the k-NN hyperparameters.
+type Config struct {
+	K int // number of neighbors
+}
+
+// DefaultConfig returns the configuration used by the Table 6 harness.
+func DefaultConfig() Config { return Config{K: 15} }
+
+// Model is a fitted k-NN classifier.
+type Model struct {
+	cfg    Config
+	scaler *dataset.Scaler
+	tree   *kdTree
+}
+
+// New returns an unfitted model.
+func New(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// NewFactory adapts New to the harness Factory signature.
+func NewFactory(cfg Config) ml.Factory {
+	return func() ml.Classifier { return New(cfg) }
+}
+
+// Name implements ml.Classifier.
+func (m *Model) Name() string { return "k-NN" }
+
+// Fit implements ml.Classifier. k-NN "training" standardizes the data
+// and builds the KD-tree.
+func (m *Model) Fit(data *dataset.Matrix) error {
+	if data.Len() == 0 {
+		return errors.New("knn: empty training set")
+	}
+	m.scaler = dataset.FitScaler(data)
+	scaled := m.scaler.Apply(data)
+	pts := make([][]float64, scaled.Len())
+	labels := make([]int8, scaled.Len())
+	for i := range pts {
+		pts[i] = scaled.Row(i)
+		labels[i] = scaled.Y[i]
+	}
+	m.tree = buildKD(pts, labels)
+	return nil
+}
+
+// Score implements ml.Classifier: the inverse-distance-weighted fraction
+// of positive labels among the K nearest neighbors.
+func (m *Model) Score(x []float64) float64 {
+	if m.tree == nil {
+		return 0.5
+	}
+	row := make([]float64, len(x))
+	copy(row, x)
+	m.scaler.Transform(row)
+	k := m.cfg.K
+	if k <= 0 {
+		k = 15
+	}
+	nn := m.tree.kNearest(row, k)
+	var wPos, wAll float64
+	for _, h := range nn {
+		w := 1 / (1e-9 + h.dist)
+		wAll += w
+		if h.label == 1 {
+			wPos += w
+		}
+	}
+	if wAll == 0 {
+		return 0.5
+	}
+	return wPos / wAll
+}
+
+// kdTree is a static KD-tree over fixed-dimension points.
+type kdTree struct {
+	points [][]float64
+	labels []int8
+	nodes  []kdNode
+	root   int32
+	dims   int
+}
+
+type kdNode struct {
+	point       int32 // index into points
+	axis        int16
+	left, right int32 // -1 = none
+}
+
+func buildKD(points [][]float64, labels []int8) *kdTree {
+	t := &kdTree{points: points, labels: labels, dims: dataset.NumFeatures}
+	if len(points) > 0 {
+		t.dims = len(points[0])
+	}
+	idx := make([]int32, len(points))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func (t *kdTree) build(idx []int32, depth int) int32 {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := depth % t.dims
+	mid := len(idx) / 2
+	// nth_element-style partial sort: full sort is fine at our sizes and
+	// keeps the code simple and deterministic.
+	sort.Slice(idx, func(a, b int) bool {
+		return t.points[idx[a]][axis] < t.points[idx[b]][axis]
+	})
+	node := kdNode{point: idx[mid], axis: int16(axis)}
+	ni := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node)
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[ni].left = left
+	t.nodes[ni].right = right
+	return ni
+}
+
+// hit is one neighbor candidate.
+type hit struct {
+	dist  float64
+	label int8
+}
+
+// maxHeap over distances keeps the current k best.
+type maxHeap []hit
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(hit)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// kNearest returns the k nearest stored points to q (squared distances).
+func (t *kdTree) kNearest(q []float64, k int) []hit {
+	h := make(maxHeap, 0, k+1)
+	t.search(t.root, q, k, &h)
+	out := make([]hit, len(h))
+	copy(out, h)
+	return out
+}
+
+func (t *kdTree) search(ni int32, q []float64, k int, h *maxHeap) {
+	if ni < 0 {
+		return
+	}
+	n := &t.nodes[ni]
+	p := t.points[n.point]
+	d := sqDist(q, p)
+	if h.Len() < k {
+		heap.Push(h, hit{dist: d, label: t.labels[n.point]})
+	} else if d < (*h)[0].dist {
+		heap.Pop(h)
+		heap.Push(h, hit{dist: d, label: t.labels[n.point]})
+	}
+	diff := q[n.axis] - p[n.axis]
+	first, second := n.left, n.right
+	if diff > 0 {
+		first, second = n.right, n.left
+	}
+	t.search(first, q, k, h)
+	// Prune the far side unless the splitting plane is closer than the
+	// current k-th best.
+	if h.Len() < k || diff*diff < (*h)[0].dist {
+		t.search(second, q, k, h)
+	}
+}

@@ -1,0 +1,125 @@
+package knn
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/fleetsim"
+	"ssdfail/internal/ml/mltest"
+)
+
+func TestLearnsSeparableBlobs(t *testing.T) {
+	train := mltest.TwoBlobs(300, 3, 1)
+	test := mltest.TwoBlobs(150, 3, 2)
+	m := New(DefaultConfig())
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, test.Len())
+	for i := range scores {
+		scores[i] = m.Score(test.Row(i))
+	}
+	if auc := mltest.AUC(scores, test.Y); auc < 0.93 {
+		t.Errorf("AUC = %.3f, want >= 0.93", auc)
+	}
+}
+
+func TestHandlesNonlinearXOR(t *testing.T) {
+	train := mltest.XOR(600, 1)
+	test := mltest.XOR(300, 2)
+	m := New(Config{K: 9})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, test.Len())
+	for i := range scores {
+		scores[i] = m.Score(test.Row(i))
+	}
+	if auc := mltest.AUC(scores, test.Y); auc < 0.60 {
+		t.Errorf("XOR AUC = %.3f; k-NN should beat chance", auc)
+	}
+}
+
+func TestEmptyTrainingSetErrors(t *testing.T) {
+	m := New(DefaultConfig())
+	if err := m.Fit(&dataset.Matrix{}); err == nil {
+		t.Error("Fit on empty set should error")
+	}
+	if s := m.Score(make([]float64, dataset.NumFeatures)); s != 0.5 {
+		t.Errorf("unfitted Score = %v", s)
+	}
+}
+
+func TestExactNeighborRecall(t *testing.T) {
+	// Querying a training point with K=1 must return its own label.
+	train := mltest.TwoBlobs(100, 4, 3)
+	m := New(Config{K: 1})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		got := m.Score(train.Row(i))
+		want := float64(train.Y[i])
+		if got != want {
+			t.Fatalf("row %d: K=1 self score = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestKDTreeMatchesBruteForce verifies the KD-tree against a brute-force
+// k-nearest scan on random data.
+func TestKDTreeMatchesBruteForce(t *testing.T) {
+	prop := func(seed uint64, kRaw uint8) bool {
+		rng := fleetsim.NewRNG(seed)
+		n := 60 + int(seed%40)
+		k := int(kRaw%10) + 1
+		pts := make([][]float64, n)
+		labels := make([]int8, n)
+		for i := range pts {
+			pts[i] = make([]float64, dataset.NumFeatures)
+			for f := range pts[i] {
+				pts[i][f] = rng.NormFloat64()
+			}
+			labels[i] = int8(i % 2)
+		}
+		tree := buildKD(pts, labels)
+		q := make([]float64, dataset.NumFeatures)
+		for f := range q {
+			q[f] = rng.NormFloat64()
+		}
+		got := tree.kNearest(q, k)
+		gotD := make([]float64, len(got))
+		for i, h := range got {
+			gotD[i] = h.dist
+		}
+		sort.Float64s(gotD)
+
+		all := make([]float64, n)
+		for i := range pts {
+			all[i] = sqDist(q, pts[i])
+		}
+		sort.Float64s(all)
+		if len(gotD) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if math.Abs(gotD[i]-all[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactory(t *testing.T) {
+	c := NewFactory(DefaultConfig())()
+	if c.Name() != "k-NN" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}

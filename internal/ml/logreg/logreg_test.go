@@ -1,0 +1,102 @@
+package logreg
+
+import (
+	"testing"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/ml/mltest"
+)
+
+func TestLearnsSeparableBlobs(t *testing.T) {
+	train := mltest.TwoBlobs(300, 3, 1)
+	test := mltest.TwoBlobs(200, 3, 2)
+	m := New(DefaultConfig())
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, test.Len())
+	for i := range scores {
+		scores[i] = m.Score(test.Row(i))
+	}
+	if auc := mltest.AUC(scores, test.Y); auc < 0.95 {
+		t.Errorf("AUC on separable blobs = %.3f, want >= 0.95", auc)
+	}
+}
+
+func TestScoresAreProbabilities(t *testing.T) {
+	train := mltest.TwoBlobs(100, 2, 3)
+	m := New(DefaultConfig())
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < train.Len(); i++ {
+		s := m.Score(train.Row(i))
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v outside [0,1]", s)
+		}
+	}
+}
+
+func TestEmptyTrainingSetErrors(t *testing.T) {
+	m := New(DefaultConfig())
+	if err := m.Fit(&dataset.Matrix{}); err == nil {
+		t.Error("Fit on empty set should error")
+	}
+	if s := m.Score(make([]float64, dataset.NumFeatures)); s != 0.5 {
+		t.Errorf("untrained Score = %v, want 0.5", s)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	train := mltest.TwoBlobs(100, 2, 4)
+	a, b := New(DefaultConfig()), New(DefaultConfig())
+	if err := a.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	x := train.Row(0)
+	if a.Score(x) != b.Score(x) {
+		t.Error("same seed should give identical models")
+	}
+	wa, wb := a.Weights(), b.Weights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("weights differ across identical fits")
+		}
+	}
+}
+
+func TestRegularizationShrinksWeights(t *testing.T) {
+	train := mltest.TwoBlobs(200, 2, 5)
+	weak := New(Config{L2: 1e-5, LearnRate: 0.1, Epochs: 40, BatchSize: 64, Seed: 1})
+	strong := New(Config{L2: 1.0, LearnRate: 0.1, Epochs: 40, BatchSize: 64, Seed: 1})
+	if err := weak.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := strong.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	norm := func(w []float64) float64 {
+		var s float64
+		for _, v := range w {
+			s += v * v
+		}
+		return s
+	}
+	if norm(strong.Weights()) >= norm(weak.Weights()) {
+		t.Error("stronger L2 should shrink weights")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	f := NewFactory(DefaultConfig())
+	c := f()
+	if c.Name() != "Logistic Reg." {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if c == f() {
+		t.Error("factory must return fresh instances")
+	}
+}

@@ -1,0 +1,81 @@
+package ml_test
+
+import (
+	"math"
+	"testing"
+
+	"ssdfail/internal/ml"
+	"ssdfail/internal/ml/mltest"
+)
+
+func TestDot(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := ml.Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := ml.Dot(nil, nil); got != 0 {
+		t.Errorf("Dot(nil) = %v", got)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := ml.Sigmoid(0); got != 0.5 {
+		t.Errorf("Sigmoid(0) = %v", got)
+	}
+	if got := ml.Sigmoid(100); got != 1 {
+		t.Errorf("Sigmoid(100) = %v", got)
+	}
+	if got := ml.Sigmoid(-100); got != 0 {
+		t.Errorf("Sigmoid(-100) = %v", got)
+	}
+	if got := ml.Sigmoid(2); math.Abs(got-1/(1+math.Exp(-2))) > 1e-12 {
+		t.Errorf("Sigmoid(2) = %v", got)
+	}
+	// Monotonicity.
+	prev := 0.0
+	for z := -10.0; z <= 10; z += 0.5 {
+		v := ml.Sigmoid(z)
+		if v < prev {
+			t.Fatalf("sigmoid not monotone at %v", z)
+		}
+		prev = v
+	}
+}
+
+func TestMltestAUC(t *testing.T) {
+	// Perfect ranking.
+	if got := mltest.AUC([]float64{0.1, 0.9, 0.2, 0.8}, []int8{0, 1, 0, 1}); got != 1 {
+		t.Errorf("perfect AUC = %v", got)
+	}
+	// Inverted ranking.
+	if got := mltest.AUC([]float64{0.9, 0.1}, []int8{0, 1}); got != 0 {
+		t.Errorf("inverted AUC = %v", got)
+	}
+	// All ties -> 0.5.
+	if got := mltest.AUC([]float64{0.5, 0.5, 0.5, 0.5}, []int8{0, 1, 0, 1}); got != 0.5 {
+		t.Errorf("tied AUC = %v", got)
+	}
+	// Degenerate single-class input.
+	if got := mltest.AUC([]float64{0.5, 0.7}, []int8{1, 1}); got != 0.5 {
+		t.Errorf("single-class AUC = %v", got)
+	}
+}
+
+func TestTwoBlobsShape(t *testing.T) {
+	m := mltest.TwoBlobs(50, 2, 1)
+	if m.Len() != 100 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if p := m.Positives(); p != 50 {
+		t.Fatalf("positives = %d", p)
+	}
+}
+
+func TestXORBalance(t *testing.T) {
+	m := mltest.XOR(400, 2)
+	p := m.Positives()
+	if p < 140 || p > 260 {
+		t.Fatalf("XOR positives = %d, want ~200", p)
+	}
+}

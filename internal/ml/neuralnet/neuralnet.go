@@ -1,0 +1,232 @@
+// Package neuralnet implements a small multilayer perceptron for binary
+// classification: fully connected layers with ReLU activations, a
+// logistic output, binary cross-entropy loss, and Adam optimization.
+package neuralnet
+
+import (
+	"errors"
+	"math"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/fleetsim"
+	"ssdfail/internal/ml"
+)
+
+// Config holds the MLP hyperparameters. Hidden layer sizes are the knob
+// the paper reports tuning by grid search.
+type Config struct {
+	Hidden    []int // hidden layer widths, e.g. {32, 16}
+	LearnRate float64
+	Epochs    int
+	BatchSize int
+	L2        float64
+	Seed      uint64
+}
+
+// DefaultConfig returns the configuration used by the Table 6 harness.
+func DefaultConfig() Config {
+	return Config{Hidden: []int{32, 16}, LearnRate: 3e-3, Epochs: 80, BatchSize: 32, L2: 1e-4, Seed: 1}
+}
+
+// layer is one dense layer with Adam state.
+type layer struct {
+	in, out int
+	w       []float64 // out x in, row-major
+	b       []float64
+	// Adam moments.
+	mw, vw []float64
+	mb, vb []float64
+}
+
+func newLayer(in, out int, rng *fleetsim.RNG) *layer {
+	l := &layer{
+		in: in, out: out,
+		w: make([]float64, in*out), b: make([]float64, out),
+		mw: make([]float64, in*out), vw: make([]float64, in*out),
+		mb: make([]float64, out), vb: make([]float64, out),
+	}
+	// He initialization for ReLU layers.
+	scale := math.Sqrt(2 / float64(in))
+	for i := range l.w {
+		l.w[i] = rng.NormFloat64() * scale
+	}
+	return l
+}
+
+// Model is a trained MLP.
+type Model struct {
+	cfg    Config
+	scaler *dataset.Scaler
+	layers []*layer
+}
+
+// New returns an untrained model.
+func New(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// NewFactory adapts New to the harness Factory signature.
+func NewFactory(cfg Config) ml.Factory {
+	return func() ml.Classifier { return New(cfg) }
+}
+
+// Name implements ml.Classifier.
+func (m *Model) Name() string { return "Neural Network" }
+
+// forwardBuffers holds per-layer activations and deltas for one pass.
+type forwardBuffers struct {
+	acts   [][]float64 // acts[0] is the input; acts[L] pre-output
+	deltas [][]float64
+}
+
+func (m *Model) newBuffers() *forwardBuffers {
+	fb := &forwardBuffers{}
+	in := dataset.NumFeatures
+	if len(m.layers) > 0 {
+		in = m.layers[0].in
+	}
+	fb.acts = append(fb.acts, make([]float64, in))
+	for _, l := range m.layers {
+		fb.acts = append(fb.acts, make([]float64, l.out))
+		fb.deltas = append(fb.deltas, make([]float64, l.out))
+	}
+	return fb
+}
+
+// forward runs the network on fb.acts[0], filling activations; the final
+// activation (single unit) is returned as a probability.
+func (m *Model) forward(fb *forwardBuffers) float64 {
+	for li, l := range m.layers {
+		in := fb.acts[li]
+		out := fb.acts[li+1]
+		last := li == len(m.layers)-1
+		for o := 0; o < l.out; o++ {
+			s := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, v := range in {
+				s += row[i] * v
+			}
+			if !last && s < 0 {
+				s = 0 // ReLU on hidden layers
+			}
+			out[o] = s
+		}
+	}
+	return ml.Sigmoid(fb.acts[len(m.layers)][0])
+}
+
+// Fit implements ml.Classifier.
+func (m *Model) Fit(data *dataset.Matrix) error {
+	n := data.Len()
+	if n == 0 {
+		return errors.New("neuralnet: empty training set")
+	}
+	m.scaler = dataset.FitScaler(data)
+	scaled := m.scaler.Apply(data)
+
+	rng := fleetsim.NewRNG(m.cfg.Seed ^ 0x4e7)
+	sizes := append([]int{data.W()}, m.cfg.Hidden...)
+	sizes = append(sizes, 1)
+	m.layers = nil
+	for i := 0; i+1 < len(sizes); i++ {
+		m.layers = append(m.layers, newLayer(sizes[i], sizes[i+1], rng))
+	}
+
+	fb := m.newBuffers()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	bs := m.cfg.BatchSize
+	if bs <= 0 {
+		bs = 32
+	}
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		for i := n - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for start := 0; start < n; start += bs {
+			end := start + bs
+			if end > n {
+				end = n
+			}
+			// Accumulate gradients over the mini-batch.
+			gw := make([][]float64, len(m.layers))
+			gb := make([][]float64, len(m.layers))
+			for li, l := range m.layers {
+				gw[li] = make([]float64, len(l.w))
+				gb[li] = make([]float64, len(l.b))
+			}
+			for _, idx := range order[start:end] {
+				copy(fb.acts[0], scaled.Row(idx))
+				p := m.forward(fb)
+				// Output delta for BCE + sigmoid.
+				fb.deltas[len(m.layers)-1][0] = p - float64(scaled.Y[idx])
+				// Backpropagate.
+				for li := len(m.layers) - 1; li >= 0; li-- {
+					l := m.layers[li]
+					delta := fb.deltas[li]
+					in := fb.acts[li]
+					for o := 0; o < l.out; o++ {
+						d := delta[o]
+						if d == 0 {
+							continue
+						}
+						gb[li][o] += d
+						row := gw[li][o*l.in : (o+1)*l.in]
+						for i2, v := range in {
+							row[i2] += d * v
+						}
+					}
+					if li > 0 {
+						prev := fb.deltas[li-1]
+						act := fb.acts[li]
+						for i2 := range prev {
+							var s float64
+							for o := 0; o < l.out; o++ {
+								s += l.w[o*l.in+i2] * delta[o]
+							}
+							if act[i2] <= 0 { // ReLU derivative
+								s = 0
+							}
+							prev[i2] = s
+						}
+					}
+				}
+			}
+			// Adam update.
+			step++
+			lr := m.cfg.LearnRate
+			bc1 := 1 - math.Pow(beta1, float64(step))
+			bc2 := 1 - math.Pow(beta2, float64(step))
+			inv := 1 / float64(end-start)
+			for li, l := range m.layers {
+				for i2 := range l.w {
+					g := gw[li][i2]*inv + m.cfg.L2*l.w[i2]
+					l.mw[i2] = beta1*l.mw[i2] + (1-beta1)*g
+					l.vw[i2] = beta2*l.vw[i2] + (1-beta2)*g*g
+					l.w[i2] -= lr * (l.mw[i2] / bc1) / (math.Sqrt(l.vw[i2]/bc2) + eps)
+				}
+				for o := range l.b {
+					g := gb[li][o] * inv
+					l.mb[o] = beta1*l.mb[o] + (1-beta1)*g
+					l.vb[o] = beta2*l.vb[o] + (1-beta2)*g*g
+					l.b[o] -= lr * (l.mb[o] / bc1) / (math.Sqrt(l.vb[o]/bc2) + eps)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Score implements ml.Classifier.
+func (m *Model) Score(x []float64) float64 {
+	if m.layers == nil {
+		return 0.5
+	}
+	fb := m.newBuffers()
+	copy(fb.acts[0], x)
+	m.scaler.Transform(fb.acts[0])
+	return m.forward(fb)
+}

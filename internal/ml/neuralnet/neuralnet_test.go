@@ -1,0 +1,98 @@
+package neuralnet
+
+import (
+	"testing"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/ml/mltest"
+)
+
+func TestLearnsSeparableBlobs(t *testing.T) {
+	train := mltest.TwoBlobs(300, 3, 1)
+	test := mltest.TwoBlobs(150, 3, 2)
+	m := New(DefaultConfig())
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, test.Len())
+	for i := range scores {
+		scores[i] = m.Score(test.Row(i))
+	}
+	if auc := mltest.AUC(scores, test.Y); auc < 0.95 {
+		t.Errorf("AUC = %.3f, want >= 0.95", auc)
+	}
+}
+
+func TestHandlesNonlinearXOR(t *testing.T) {
+	train := mltest.XOR(1000, 1)
+	test := mltest.XOR(400, 2)
+	cfg := DefaultConfig()
+	cfg.Epochs = 150
+	m := New(cfg)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, test.Len())
+	for i := range scores {
+		scores[i] = m.Score(test.Row(i))
+	}
+	if auc := mltest.AUC(scores, test.Y); auc < 0.80 {
+		t.Errorf("XOR AUC = %.3f; an MLP should solve XOR", auc)
+	}
+}
+
+func TestScoreRange(t *testing.T) {
+	train := mltest.TwoBlobs(100, 2, 3)
+	m := New(DefaultConfig())
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < train.Len(); i++ {
+		if s := m.Score(train.Row(i)); s < 0 || s > 1 {
+			t.Fatalf("score %v outside [0,1]", s)
+		}
+	}
+}
+
+func TestEmptyTrainingSetErrors(t *testing.T) {
+	m := New(DefaultConfig())
+	if err := m.Fit(&dataset.Matrix{}); err == nil {
+		t.Error("Fit on empty set should error")
+	}
+	if s := m.Score(make([]float64, dataset.NumFeatures)); s != 0.5 {
+		t.Errorf("untrained Score = %v", s)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	train := mltest.TwoBlobs(120, 2, 4)
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	a, b := New(cfg), New(cfg)
+	if err := a.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if a.Score(train.Row(i)) != b.Score(train.Row(i)) {
+			t.Fatal("same-seed networks disagree")
+		}
+	}
+}
+
+func TestSingleHiddenLayer(t *testing.T) {
+	train := mltest.TwoBlobs(200, 3, 5)
+	m := New(Config{Hidden: []int{8}, LearnRate: 3e-3, Epochs: 40, BatchSize: 32, Seed: 1})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, train.Len())
+	for i := range scores {
+		scores[i] = m.Score(train.Row(i))
+	}
+	if auc := mltest.AUC(scores, train.Y); auc < 0.9 {
+		t.Errorf("single-hidden-layer train AUC = %.3f", auc)
+	}
+}

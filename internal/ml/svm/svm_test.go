@@ -1,0 +1,80 @@
+package svm
+
+import (
+	"testing"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/ml/mltest"
+)
+
+func TestLearnsSeparableBlobs(t *testing.T) {
+	train := mltest.TwoBlobs(300, 3, 1)
+	test := mltest.TwoBlobs(200, 3, 2)
+	m := New(DefaultConfig())
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, test.Len())
+	for i := range scores {
+		scores[i] = m.Score(test.Row(i))
+	}
+	if auc := mltest.AUC(scores, test.Y); auc < 0.95 {
+		t.Errorf("AUC on separable blobs = %.3f, want >= 0.95", auc)
+	}
+}
+
+func TestScoreRange(t *testing.T) {
+	train := mltest.TwoBlobs(100, 2, 3)
+	m := New(DefaultConfig())
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < train.Len(); i++ {
+		if s := m.Score(train.Row(i)); s < 0 || s > 1 {
+			t.Fatalf("score %v outside [0,1]", s)
+		}
+	}
+}
+
+func TestEmptyTrainingSetErrors(t *testing.T) {
+	m := New(DefaultConfig())
+	if err := m.Fit(&dataset.Matrix{}); err == nil {
+		t.Error("Fit on empty set should error")
+	}
+	if s := m.Score(make([]float64, dataset.NumFeatures)); s != 0.5 {
+		t.Errorf("untrained Score = %v", s)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	train := mltest.TwoBlobs(150, 2, 4)
+	a, b := New(DefaultConfig()), New(DefaultConfig())
+	if err := a.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		x := train.Row(i)
+		if a.Score(x) != b.Score(x) {
+			t.Fatal("same-seed models disagree")
+		}
+	}
+}
+
+func TestDefaultLambdaGuard(t *testing.T) {
+	// A zero lambda must not divide by zero.
+	train := mltest.TwoBlobs(50, 2, 5)
+	m := New(Config{Lambda: 0, Epochs: 2, Seed: 1})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactory(t *testing.T) {
+	c := NewFactory(DefaultConfig())()
+	if c.Name() != "SVM" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}

@@ -1,0 +1,124 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary serialization of a trained tree, so predictors can be deployed
+// without retraining. Layout (little-endian):
+//
+//	magic "TREE" | version u32 | width u32 | nodeCount u32
+//	nodeCount * (feature i32, threshold f64, left i32, right i32, prob f64)
+//	width * importance f64
+
+const (
+	treeMagic   = "TREE"
+	treeVersion = 1
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(treeMagic)
+	w32 := func(v uint32) { var b [4]byte; binary.LittleEndian.PutUint32(b[:], v); buf.Write(b[:]) }
+	w64 := func(v float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		buf.Write(b[:])
+	}
+	w32(treeVersion)
+	w32(uint32(t.width))
+	w32(uint32(len(t.nodes)))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		w32(uint32(n.feature))
+		w64(n.threshold)
+		w32(uint32(n.left))
+		w32(uint32(n.right))
+		w64(n.prob)
+	}
+	for _, v := range t.importance {
+		w64(v)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (t *Tree) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := r.Read(magic); err != nil || string(magic) != treeMagic {
+		return fmt.Errorf("tree: bad magic")
+	}
+	r32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := r.Read(b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	r64 := func() (float64, error) {
+		var b [8]byte
+		if _, err := r.Read(b[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	}
+	ver, err := r32()
+	if err != nil || ver != treeVersion {
+		return fmt.Errorf("tree: unsupported version")
+	}
+	width, err := r32()
+	if err != nil {
+		return err
+	}
+	count, err := r32()
+	if err != nil {
+		return err
+	}
+	if count > 1<<28 {
+		return fmt.Errorf("tree: implausible node count %d", count)
+	}
+	t.width = int(width)
+	t.nodes = make([]node, count)
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		var v uint32
+		if v, err = r32(); err != nil {
+			return err
+		}
+		n.feature = int32(v)
+		if n.threshold, err = r64(); err != nil {
+			return err
+		}
+		if v, err = r32(); err != nil {
+			return err
+		}
+		n.left = int32(v)
+		if v, err = r32(); err != nil {
+			return err
+		}
+		n.right = int32(v)
+		if n.prob, err = r64(); err != nil {
+			return err
+		}
+		if n.feature >= 0 {
+			if int(n.feature) >= t.width {
+				return fmt.Errorf("tree: node %d feature %d outside width %d", i, n.feature, t.width)
+			}
+			if n.left < 0 || n.right < 0 || n.left >= int32(count) || n.right >= int32(count) {
+				return fmt.Errorf("tree: node %d has dangling children", i)
+			}
+		}
+	}
+	t.importance = make([]float64, width)
+	for i := range t.importance {
+		if t.importance[i], err = r64(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

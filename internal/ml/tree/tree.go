@@ -1,0 +1,269 @@
+// Package tree implements a CART-style binary decision tree for
+// classification with Gini impurity, depth and leaf-size controls, and
+// per-feature random candidate subsets (the building block the random
+// forest reuses).
+package tree
+
+import (
+	"errors"
+	"sort"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/fleetsim"
+	"ssdfail/internal/ml"
+)
+
+// Config holds the tree hyperparameters. The maximum depth is the
+// regularization knob the paper reports tuning for its tree models.
+type Config struct {
+	MaxDepth    int    // 0 = unlimited
+	MinLeaf     int    // minimum samples in each child (default 1)
+	MinSplit    int    // minimum samples to attempt a split (default 2)
+	MaxFeatures int    // candidate features per split; 0 = all
+	Seed        uint64 // used only when MaxFeatures narrows the candidates
+}
+
+// DefaultConfig returns the configuration used by the Table 6 harness.
+func DefaultConfig() Config {
+	return Config{MaxDepth: 12, MinLeaf: 3, MinSplit: 6}
+}
+
+type node struct {
+	feature     int32 // -1 for leaves
+	threshold   float64
+	left, right int32
+	prob        float64 // leaf probability (Laplace-smoothed)
+}
+
+// Tree is a trained decision tree.
+type Tree struct {
+	cfg        Config
+	nodes      []node
+	importance []float64
+	rng        *fleetsim.RNG
+	width      int // feature-vector width seen at fit time
+}
+
+// New returns an untrained tree.
+func New(cfg Config) *Tree { return &Tree{cfg: cfg} }
+
+// NewFactory adapts New to the harness Factory signature.
+func NewFactory(cfg Config) ml.Factory {
+	return func() ml.Classifier { return New(cfg) }
+}
+
+// Name implements ml.Classifier.
+func (t *Tree) Name() string { return "Decision Tree" }
+
+// Fit implements ml.Classifier, training on all rows.
+func (t *Tree) Fit(m *dataset.Matrix) error {
+	rows := make([]int32, m.Len())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	return t.FitRows(m, rows)
+}
+
+// FitRows trains on a subset of rows (with repetition allowed), which is
+// how the random forest feeds bootstrap samples to its trees.
+func (t *Tree) FitRows(m *dataset.Matrix, rows []int32) error {
+	if len(rows) == 0 {
+		return errors.New("tree: empty training set")
+	}
+	t.nodes = t.nodes[:0]
+	t.width = m.W()
+	t.importance = make([]float64, t.width)
+	t.rng = fleetsim.NewRNG(t.cfg.Seed ^ 0x7ee5)
+	minLeaf := t.cfg.MinLeaf
+	if minLeaf < 1 {
+		minLeaf = 1
+	}
+	minSplit := t.cfg.MinSplit
+	if minSplit < 2 {
+		minSplit = 2
+	}
+	b := &builder{
+		t: t, m: m, total: float64(len(rows)),
+		minLeaf: minLeaf, minSplit: minSplit,
+		scratch: make([]int32, len(rows)),
+	}
+	b.grow(rows, 0)
+	// Normalize importances to sum to 1 when any split occurred.
+	var sum float64
+	for _, v := range t.importance {
+		sum += v
+	}
+	if sum > 0 {
+		for f := range t.importance {
+			t.importance[f] /= sum
+		}
+	}
+	return nil
+}
+
+type builder struct {
+	t                 *Tree
+	m                 *dataset.Matrix
+	total             float64
+	minLeaf, minSplit int
+	scratch           []int32
+}
+
+// gini returns the Gini impurity for pos positives out of n.
+func gini(pos, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := pos / n
+	return 2 * p * (1 - p)
+}
+
+func countPos(m *dataset.Matrix, rows []int32) int {
+	pos := 0
+	for _, r := range rows {
+		if m.Y[r] == 1 {
+			pos++
+		}
+	}
+	return pos
+}
+
+// grow recursively builds the subtree over rows and returns its index.
+func (b *builder) grow(rows []int32, depth int) int32 {
+	t := b.t
+	pos := countPos(b.m, rows)
+	n := len(rows)
+	ni := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{
+		feature: -1,
+		prob:    (float64(pos) + 1) / (float64(n) + 2),
+	})
+	if pos == 0 || pos == n || n < b.minSplit ||
+		(t.cfg.MaxDepth > 0 && depth >= t.cfg.MaxDepth) {
+		return ni
+	}
+
+	feat, thresh, gain := b.bestSplit(rows, float64(pos))
+	if feat < 0 {
+		return ni
+	}
+	// Partition rows in place around the threshold.
+	lo, hi := 0, n
+	for lo < hi {
+		if b.m.Row(int(rows[lo]))[feat] <= thresh {
+			lo++
+		} else {
+			hi--
+			rows[lo], rows[hi] = rows[hi], rows[lo]
+		}
+	}
+	if lo < b.minLeaf || n-lo < b.minLeaf {
+		return ni
+	}
+	t.importance[feat] += (float64(n) / b.total) * gain
+	left := b.grow(rows[:lo], depth+1)
+	right := b.grow(rows[lo:], depth+1)
+	t.nodes[ni].feature = int32(feat)
+	t.nodes[ni].threshold = thresh
+	t.nodes[ni].left = left
+	t.nodes[ni].right = right
+	return ni
+}
+
+// bestSplit scans candidate features for the split with the largest Gini
+// decrease. Returns feature -1 when no valid split exists.
+func (b *builder) bestSplit(rows []int32, pos float64) (int, float64, float64) {
+	n := float64(len(rows))
+	parent := gini(pos, n)
+	bestFeat := -1
+	var bestThresh, bestGain float64
+
+	feats := b.candidateFeatures()
+	idx := b.scratch[:len(rows)]
+	for _, f := range feats {
+		copy(idx, rows)
+		m := b.m
+		sort.Slice(idx, func(a, c int) bool {
+			return m.Row(int(idx[a]))[f] < m.Row(int(idx[c]))[f]
+		})
+		var leftPos, leftN float64
+		for i := 0; i < len(idx)-1; i++ {
+			if m.Y[idx[i]] == 1 {
+				leftPos++
+			}
+			leftN++
+			v, next := m.Row(int(idx[i]))[f], m.Row(int(idx[i+1]))[f]
+			if v == next {
+				continue
+			}
+			if int(leftN) < b.minLeaf || len(idx)-int(leftN) < b.minLeaf {
+				continue
+			}
+			rightPos := pos - leftPos
+			rightN := n - leftN
+			gain := parent - (leftN*gini(leftPos, leftN)+rightN*gini(rightPos, rightN))/n
+			if gain > bestGain+1e-15 {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = v + (next-v)/2
+			}
+		}
+	}
+	if bestGain <= 1e-12 {
+		return -1, 0, 0
+	}
+	return bestFeat, bestThresh, bestGain
+}
+
+// candidateFeatures returns the feature subset for this split.
+func (b *builder) candidateFeatures() []int {
+	width := b.t.width
+	k := b.t.cfg.MaxFeatures
+	if k <= 0 || k >= width {
+		all := make([]int, width)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	// Partial Fisher-Yates over a fresh index slice.
+	perm := make([]int, width)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + b.t.rng.Intn(width-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:k]
+}
+
+// Score implements ml.Classifier.
+func (t *Tree) Score(x []float64) float64 {
+	if len(t.nodes) == 0 {
+		return 0.5
+	}
+	ni := int32(0)
+	for {
+		nd := &t.nodes[ni]
+		if nd.feature < 0 {
+			return nd.prob
+		}
+		if x[nd.feature] <= nd.threshold {
+			ni = nd.left
+		} else {
+			ni = nd.right
+		}
+	}
+}
+
+// Importance returns the normalized Gini importances (summing to 1 when
+// the tree has at least one split).
+func (t *Tree) Importance() []float64 {
+	out := make([]float64, len(t.importance))
+	copy(out, t.importance)
+	return out
+}
+
+// NodeCount returns the number of nodes in the trained tree.
+func (t *Tree) NodeCount() int { return len(t.nodes) }

@@ -1,0 +1,176 @@
+package tree
+
+import (
+	"testing"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/ml/mltest"
+)
+
+func TestLearnsSeparableBlobs(t *testing.T) {
+	train := mltest.TwoBlobs(300, 3, 1)
+	test := mltest.TwoBlobs(150, 3, 2)
+	m := New(DefaultConfig())
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, test.Len())
+	for i := range scores {
+		scores[i] = m.Score(test.Row(i))
+	}
+	if auc := mltest.AUC(scores, test.Y); auc < 0.90 {
+		t.Errorf("AUC = %.3f, want >= 0.90", auc)
+	}
+}
+
+func TestHandlesNonlinearBand(t *testing.T) {
+	// The band target is not linearly separable but is axis-aligned, so
+	// a greedy tree should carve it with two splits. (XOR, by contrast,
+	// defeats greedy split selection by construction.)
+	train := mltest.Band(800, 1)
+	test := mltest.Band(400, 2)
+	m := New(Config{MaxDepth: 8, MinLeaf: 3, MinSplit: 6})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, test.Len())
+	for i := range scores {
+		scores[i] = m.Score(test.Row(i))
+	}
+	if auc := mltest.AUC(scores, test.Y); auc < 0.90 {
+		t.Errorf("band AUC = %.3f; a tree should carve the band", auc)
+	}
+	// XOR: a deep tree must at least memorize the training set, proving
+	// the split machinery handles zero-first-order-gain targets when
+	// given depth.
+	xor := mltest.XOR(600, 3)
+	deep := New(Config{MaxDepth: 0, MinLeaf: 1, MinSplit: 2})
+	if err := deep.Fit(xor); err != nil {
+		t.Fatal(err)
+	}
+	scores = make([]float64, xor.Len())
+	for i := range scores {
+		scores[i] = deep.Score(xor.Row(i))
+	}
+	if auc := mltest.AUC(scores, xor.Y); auc < 0.99 {
+		t.Errorf("deep tree XOR train AUC = %.3f, want ~1", auc)
+	}
+}
+
+func TestPureNodeBecomesLeaf(t *testing.T) {
+	// A single-class training set must produce a single leaf.
+	m := mltest.TwoBlobs(20, 1, 3)
+	for i := range m.Y {
+		m.Y[i] = 1
+	}
+	tr := New(DefaultConfig())
+	if err := tr.Fit(m); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeCount() != 1 {
+		t.Errorf("pure training set grew %d nodes, want 1", tr.NodeCount())
+	}
+	// Laplace-smoothed probability stays below 1.
+	if s := tr.Score(m.Row(0)); s <= 0.9 || s >= 1 {
+		t.Errorf("pure-leaf score = %v", s)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	train := mltest.TwoBlobs(500, 1, 4)
+	shallow := New(Config{MaxDepth: 1, MinLeaf: 1, MinSplit: 2})
+	if err := shallow.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// Depth-1 tree has at most 3 nodes (root + 2 leaves).
+	if shallow.NodeCount() > 3 {
+		t.Errorf("depth-1 tree has %d nodes", shallow.NodeCount())
+	}
+	deep := New(Config{MaxDepth: 10, MinLeaf: 1, MinSplit: 2})
+	if err := deep.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if deep.NodeCount() <= shallow.NodeCount() {
+		t.Error("deeper budget should grow a larger tree on noisy data")
+	}
+}
+
+func TestImportanceIdentifiesSignalFeatures(t *testing.T) {
+	train := mltest.TwoBlobs(500, 3, 5) // signal on features 0..2
+	m := New(DefaultConfig())
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	imp := m.Importance()
+	var sum, signal float64
+	for f, v := range imp {
+		sum += v
+		if f < 3 {
+			signal += v
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("importances sum to %v, want 1", sum)
+	}
+	if signal < 0.8 {
+		t.Errorf("signal features carry %.3f importance, want >= 0.8", signal)
+	}
+}
+
+func TestEmptyTrainingSetErrors(t *testing.T) {
+	m := New(DefaultConfig())
+	if err := m.Fit(&dataset.Matrix{}); err == nil {
+		t.Error("Fit on empty set should error")
+	}
+	if s := m.Score(make([]float64, dataset.NumFeatures)); s != 0.5 {
+		t.Errorf("untrained Score = %v", s)
+	}
+}
+
+func TestFitRowsBootstrapSubset(t *testing.T) {
+	train := mltest.TwoBlobs(100, 3, 6)
+	m := New(DefaultConfig())
+	rows := []int32{0, 1, 2, 3, 4, 5, 6, 7, 0, 0} // repetition allowed
+	if err := m.FitRows(train, rows); err != nil {
+		t.Fatal(err)
+	}
+	if m.NodeCount() == 0 {
+		t.Error("no tree grown")
+	}
+	if err := m.FitRows(train, nil); err == nil {
+		t.Error("empty rows should error")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	train := mltest.TwoBlobs(200, 2, 7)
+	cfg := Config{MaxDepth: 6, MinLeaf: 2, MinSplit: 4, MaxFeatures: 4, Seed: 9}
+	a, b := New(cfg), New(cfg)
+	if err := a.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if a.Score(train.Row(i)) != b.Score(train.Row(i)) {
+			t.Fatal("same-seed trees disagree")
+		}
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	train := mltest.TwoBlobs(100, 3, 8)
+	big := New(Config{MaxDepth: 0, MinLeaf: 40, MinSplit: 80})
+	if err := big.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	small := New(Config{MaxDepth: 0, MinLeaf: 1, MinSplit: 2})
+	if err := small.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if big.NodeCount() >= small.NodeCount() {
+		t.Errorf("MinLeaf=40 tree (%d nodes) should be smaller than MinLeaf=1 (%d)",
+			big.NodeCount(), small.NodeCount())
+	}
+}

@@ -1,0 +1,168 @@
+// Package parallel provides the small shared-memory parallel runtime used
+// by the simulator, the random forest, and the evaluation harness: a
+// chunked parallel-for, a parallel map, and a reusable worker pool.
+//
+// All helpers are deterministic in the sense that they never reorder
+// results: output slot i always corresponds to input slot i, so callers
+// that seed per-item RNGs get identical results at any worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes
+// workers <= 0: the number of usable CPUs.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// clampWorkers resolves the worker count for n items.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0, n) using the given number of workers
+// (<= 0 means DefaultWorkers). Iterations are distributed dynamically in
+// contiguous chunks so uneven per-item costs balance out.
+func For(workers, n int, fn func(i int)) {
+	workers = clampWorkers(workers, n)
+	if n == 0 {
+		return
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Chunk size balances scheduling overhead against load balance.
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every index in [0, n) and collects the results in
+// order. It is For with an output slice.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapSlice applies fn to every element of in and collects results in order.
+func MapSlice[S, T any](workers int, in []S, fn func(S) T) []T {
+	return Map(workers, len(in), func(i int) T { return fn(in[i]) })
+}
+
+// Reduce computes a parallel reduction: fn maps each index to a partial
+// value of type T and merge folds partials together. merge must be
+// associative; the zero value of T must be its identity. The reduction
+// tree shape is fixed by the worker count, so results are deterministic
+// for a given workers value (and exactly equal at any workers value when
+// merge is also commutative over the partials, e.g. integer sums).
+func Reduce[T any](workers, n int, fn func(i int) T, merge func(a, b T) T) T {
+	workers = clampWorkers(workers, n)
+	var zero T
+	if n == 0 {
+		return zero
+	}
+	partials := make([]T, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			acc := zero
+			// Static block partition keeps each partial's fold order fixed.
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			for i := lo; i < hi; i++ {
+				acc = merge(acc, fn(i))
+			}
+			partials[w] = acc
+		}(w)
+	}
+	wg.Wait()
+	acc := zero
+	for _, p := range partials {
+		acc = merge(acc, p)
+	}
+	return acc
+}
+
+// Pool is a reusable fixed-size worker pool for irregular task graphs
+// (e.g. growing forest trees while the caller streams in work).
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewPool starts a pool with the given number of workers (<= 0 means
+// DefaultWorkers).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	p := &Pool{tasks: make(chan func(), workers*2)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for t := range p.tasks {
+				t()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a task. It must not be called after Close.
+func (p *Pool) Submit(task func()) {
+	p.wg.Add(1)
+	p.tasks <- task
+}
+
+// Wait blocks until all submitted tasks have completed.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Close waits for outstanding tasks and shuts the workers down. A pool
+// cannot be reused after Close; Close is idempotent.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		p.wg.Wait()
+		close(p.tasks)
+	})
+}

@@ -1,0 +1,137 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			hits := make([]int32, n)
+			For(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	got := Map(4, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapSlice(t *testing.T) {
+	in := []string{"a", "bb", "ccc"}
+	got := MapSlice(2, in, func(s string) int { return len(s) })
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MapSlice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(4, 0, func(int) int { return 1 }); len(got) != 0 {
+		t.Fatalf("Map over 0 items returned %v", got)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	merge := func(a, b int64) int64 { return a + b }
+	for _, workers := range []int{0, 1, 3, 16} {
+		got := Reduce(workers, 1000, func(i int) int64 { return int64(i) }, merge)
+		if got != 999*1000/2 {
+			t.Fatalf("workers=%d: Reduce = %d", workers, got)
+		}
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := Reduce(4, 0, func(int) int { return 7 }, func(a, b int) int { return a + b })
+	if got != 0 {
+		t.Fatalf("Reduce over empty = %d, want 0", got)
+	}
+}
+
+func TestReduceDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Integer sums are associative and commutative, so every worker
+	// count must give the identical result.
+	fn := func(i int) int64 { return int64(i*i - 3*i + 1) }
+	merge := func(a, b int64) int64 { return a + b }
+	want := Reduce(1, 777, fn, merge)
+	for _, workers := range []int{2, 3, 8, 32} {
+		if got := Reduce(workers, 777, fn, merge); got != want {
+			t.Fatalf("workers=%d: %d != %d", workers, got, want)
+		}
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var counter int64
+	for i := 0; i < 500; i++ {
+		p.Submit(func() { atomic.AddInt64(&counter, 1) })
+	}
+	p.Wait()
+	if counter != 500 {
+		t.Fatalf("pool ran %d tasks, want 500", counter)
+	}
+	// Pool must be reusable after Wait.
+	for i := 0; i < 100; i++ {
+		p.Submit(func() { atomic.AddInt64(&counter, 1) })
+	}
+	p.Wait()
+	if counter != 600 {
+		t.Fatalf("pool ran %d tasks after reuse, want 600", counter)
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Submit(func() {})
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestClampWorkers(t *testing.T) {
+	if w := clampWorkers(-1, 100); w != DefaultWorkers() {
+		t.Errorf("clampWorkers(-1, 100) = %d", w)
+	}
+	if w := clampWorkers(8, 3); w != 3 {
+		t.Errorf("clampWorkers(8, 3) = %d, want 3", w)
+	}
+	if w := clampWorkers(8, 0); w != 1 {
+		t.Errorf("clampWorkers(8, 0) = %d, want 1", w)
+	}
+}
+
+// Property: For with any worker count computes the same multiset of
+// results as a serial loop.
+func TestForEquivalentToSerialProperty(t *testing.T) {
+	prop := func(nRaw uint16, workersRaw uint8) bool {
+		n := int(nRaw % 500)
+		workers := int(workersRaw%16) + 1
+		par := make([]int64, n)
+		For(workers, n, func(i int) { par[i] = int64(i) * 3 })
+		for i := 0; i < n; i++ {
+			if par[i] != int64(i)*3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package report renders experiment results as aligned ASCII tables and
+// terminal line plots, so every table and figure of the paper can be
+// regenerated as text by the command-line tools and the benchmarks.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string // free-form footnotes rendered under the table
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table to w with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(cell)
+			}
+			// Right-align numeric-looking cells, left-align the rest.
+			if looksNumeric(cell) {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(cell)
+			} else {
+				b.WriteString(cell)
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if total > 2 {
+		fmt.Fprintln(w, strings.Repeat("-", total-2))
+	}
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintln(w, "  note: "+n)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	digits := 0
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case strings.ContainsRune(".-+eE%±() ", r):
+		case r == '∞':
+			digits++
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// F formats a float with the given precision, rendering NaN as "-" and
+// infinities as "∞".
+func F(v float64, prec int) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case math.IsInf(v, 1):
+		return "∞"
+	case math.IsInf(v, -1):
+		return "-∞"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// Pct formats a fraction as a percentage with the given precision.
+func Pct(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f%%", prec, 100*v)
+}
+
+// Series is one named line for plotting.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot is a titled collection of series with axis labels.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	Series []Series
+}
+
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the plot as ASCII art of the given size. NaN points are
+// skipped; with LogX, non-positive x values are skipped.
+func (p *Plot) Render(w io.Writer, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	// Determine data ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if p.LogX {
+			return math.Log10(x)
+		}
+		return x
+	}
+	for _, s := range p.Series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if p.LogX && x <= 0 {
+				continue
+			}
+			x = tx(x)
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if p.Title != "" {
+		fmt.Fprintln(w, p.Title)
+	}
+	if xmin > xmax || ymin > ymax {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if p.LogX && x <= 0 {
+				continue
+			}
+			cx := int((tx(x) - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((y - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = mark
+			}
+		}
+	}
+	for r, rowBytes := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.3g ", ymax)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%7.3g ", ymin)
+		}
+		fmt.Fprintf(w, "%s|%s|\n", label, string(rowBytes))
+	}
+	lo, hi := xmin, xmax
+	if p.LogX {
+		lo, hi = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	fmt.Fprintf(w, "        %-*.4g%*.4g\n", width/2, lo, width-width/2, hi)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(w, "        x: %s   y: %s\n", p.XLabel, p.YLabel)
+	}
+	for si, s := range p.Series {
+		fmt.Fprintf(w, "        %c %s\n", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+}
+
+// String renders the plot to a string at a default size.
+func (p *Plot) String() string {
+	var b strings.Builder
+	p.Render(&b, 64, 16)
+	return b.String()
+}

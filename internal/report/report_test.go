@@ -1,0 +1,136 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "Table X: demo",
+		Columns: []string{"Model", "AUC"},
+	}
+	tbl.AddRow("MLC-A", "0.905")
+	tbl.AddRow("MLC-B", "0.900")
+	tbl.Notes = append(tbl.Notes, "demo note")
+	out := tbl.String()
+	for _, want := range []string{"Table X: demo", "Model", "AUC", "MLC-A", "0.905", "note: demo note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &Table{Columns: []string{"name", "v"}}
+	tbl.AddRow("a", "1.5")
+	tbl.AddRow("longer", "10.25")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// All lines should have equal or shorter width than the header line
+	// plus padding; numeric column right-aligned means "1.5" is indented.
+	if !strings.Contains(lines[2], "  1.5") && !strings.Contains(lines[2], "   1.5") {
+		t.Errorf("numeric cell not right-aligned:\n%s", out)
+	}
+}
+
+func TestLooksNumeric(t *testing.T) {
+	yes := []string{"1", "0.905", "-3.2", "1e-5", "95%", "0.905 ± 0.008", "∞", "17.4 (2.61)"}
+	no := []string{"", "MLC-A", "drive age", "N/A"}
+	for _, s := range yes {
+		if !looksNumeric(s) {
+			t.Errorf("looksNumeric(%q) = false", s)
+		}
+	}
+	for _, s := range no {
+		if looksNumeric(s) {
+			t.Errorf("looksNumeric(%q) = true", s)
+		}
+	}
+}
+
+func TestF(t *testing.T) {
+	if got := F(1.23456, 3); got != "1.235" {
+		t.Errorf("F = %q", got)
+	}
+	if got := F(math.NaN(), 2); got != "-" {
+		t.Errorf("F(NaN) = %q", got)
+	}
+	if got := F(math.Inf(1), 2); got != "∞" {
+		t.Errorf("F(+Inf) = %q", got)
+	}
+	if got := F(math.Inf(-1), 2); got != "-∞" {
+		t.Errorf("F(-Inf) = %q", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.143, 1); got != "14.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(math.NaN(), 1); got != "-" {
+		t.Errorf("Pct(NaN) = %q", got)
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	p := &Plot{
+		Title:  "Figure X",
+		XLabel: "days",
+		YLabel: "cdf",
+		Series: []Series{
+			{Name: "young", X: []float64{1, 2, 3}, Y: []float64{0.1, 0.5, 0.9}},
+			{Name: "old", X: []float64{1, 2, 3}, Y: []float64{0.2, 0.4, 0.6}},
+		},
+	}
+	var b strings.Builder
+	p.Render(&b, 40, 10)
+	out := b.String()
+	for _, want := range []string{"Figure X", "young", "old", "*", "o", "x: days"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotLogXSkipsNonPositive(t *testing.T) {
+	p := &Plot{
+		LogX: true,
+		Series: []Series{
+			{Name: "s", X: []float64{0, 1, 10, 100}, Y: []float64{0.5, 0.1, 0.5, 0.9}},
+		},
+	}
+	var b strings.Builder
+	p.Render(&b, 40, 8) // must not panic on x=0
+	if !strings.Contains(b.String(), "*") {
+		t.Error("log plot rendered no points")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	out := p.String()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty plot output: %q", out)
+	}
+}
+
+func TestPlotNaNSkipped(t *testing.T) {
+	p := &Plot{Series: []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{math.NaN(), 0.5}}}}
+	out := p.String()
+	// One plotted point plus one legend marker.
+	if strings.Count(out, "*") != 2 {
+		t.Errorf("NaN point should be skipped:\n%s", out)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	p := &Plot{Series: []Series{{Name: "s", X: []float64{5, 5}, Y: []float64{1, 1}}}}
+	// Degenerate ranges must not divide by zero.
+	_ = p.String()
+}

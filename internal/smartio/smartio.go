@@ -1,0 +1,359 @@
+// Package smartio imports standard SMART telemetry into the trace
+// schema, so the library can run on real field data. The paper's Google
+// drives report through custom firmware rather than SMART, but public
+// datasets (most prominently the Backblaze drive-stats snapshots) use
+// daily CSV rows of SMART attributes; this package maps those onto
+// trace.Fleet so the whole pipeline — reconstruction, characterization,
+// prediction — runs unmodified on them.
+//
+// The expected input is one CSV with a header row and one row per drive
+// per day:
+//
+//	date,serial_number,model,capacity_bytes,failure,smart_5_raw,...
+//
+// Only date, serial_number, model, and failure are required; every
+// SMART column is optional and mapped through an AttributeMap.
+package smartio
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ssdfail/internal/trace"
+)
+
+// AttributeMap names the CSV columns used for each trace field. Empty
+// entries are skipped. DefaultAttributeMap covers the usual SSD
+// attributes in Backblaze-style exports.
+type AttributeMap struct {
+	PowerOnHours    string // drive age fallback (smart_9_raw)
+	Reallocated     string // grown bad blocks (smart_5_raw)
+	ReportedUncorr  string // uncorrectable errors, cumulative (smart_187_raw)
+	CommandTimeout  string // timeout errors, cumulative (smart_188_raw)
+	PendingSectors  string // treated as additional grown bad blocks (smart_197_raw)
+	TotalLBAWritten string // cumulative writes (smart_241_raw)
+	TotalLBARead    string // cumulative reads (smart_242_raw)
+	WearLeveling    string // P/E cycle proxy (smart_173_raw or smart_177_raw)
+	ProgramFail     string // final write errors, cumulative (smart_181_raw)
+	EraseFail       string // erase errors, cumulative (smart_182_raw)
+	CRCErrors       string // interface CRC -> response errors (smart_199_raw)
+}
+
+// DefaultAttributeMap returns the standard column names.
+func DefaultAttributeMap() AttributeMap {
+	return AttributeMap{
+		PowerOnHours:    "smart_9_raw",
+		Reallocated:     "smart_5_raw",
+		ReportedUncorr:  "smart_187_raw",
+		CommandTimeout:  "smart_188_raw",
+		PendingSectors:  "smart_197_raw",
+		TotalLBAWritten: "smart_241_raw",
+		TotalLBARead:    "smart_242_raw",
+		WearLeveling:    "smart_173_raw",
+		ProgramFail:     "smart_181_raw",
+		EraseFail:       "smart_182_raw",
+		CRCErrors:       "smart_199_raw",
+	}
+}
+
+// Options configures the import.
+type Options struct {
+	Attrs AttributeMap
+	// ModelMap assigns a trace.Model to each SMART model string; nil
+	// hashes the string over the three models so multi-vendor datasets
+	// split deterministically.
+	ModelMap func(model string) trace.Model
+	// WritesPerPECycle converts cumulative written LBAs into P/E cycles
+	// when no wear-leveling attribute is present; <= 0 uses 2.2e8.
+	WritesPerPECycle float64
+}
+
+// hashModel deterministically buckets a model string.
+func hashModel(s string) trace.Model {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return trace.Model(h.Sum32() % uint32(trace.NumModels))
+}
+
+// row is one parsed CSV record.
+type row struct {
+	day     int32
+	failure bool
+	vals    [numFields]float64
+	has     [numFields]bool
+}
+
+// field indices into row.vals.
+const (
+	fPOH = iota
+	fRealloc
+	fUncorr
+	fTimeout
+	fPending
+	fLBAW
+	fLBAR
+	fWear
+	fProgFail
+	fEraseFail
+	fCRC
+	numFields
+)
+
+// ReadCSV parses a SMART daily-snapshot CSV into a Fleet.
+func ReadCSV(r io.Reader, o Options) (*trace.Fleet, error) {
+	if o.Attrs == (AttributeMap{}) {
+		o.Attrs = DefaultAttributeMap()
+	}
+	if o.ModelMap == nil {
+		o.ModelMap = hashModel
+	}
+	if o.WritesPerPECycle <= 0 {
+		o.WritesPerPECycle = 2.2e8
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("smartio: empty input")
+	}
+	header := strings.Split(sc.Text(), ",")
+	col := map[string]int{}
+	for i, h := range header {
+		col[strings.TrimSpace(h)] = i
+	}
+	for _, req := range []string{"date", "serial_number", "model", "failure"} {
+		if _, ok := col[req]; !ok {
+			return nil, fmt.Errorf("smartio: missing required column %q", req)
+		}
+	}
+	attrCols := [numFields]int{}
+	attrNames := [numFields]string{
+		o.Attrs.PowerOnHours, o.Attrs.Reallocated, o.Attrs.ReportedUncorr,
+		o.Attrs.CommandTimeout, o.Attrs.PendingSectors, o.Attrs.TotalLBAWritten,
+		o.Attrs.TotalLBARead, o.Attrs.WearLeveling, o.Attrs.ProgramFail,
+		o.Attrs.EraseFail, o.Attrs.CRCErrors,
+	}
+	for f, name := range attrNames {
+		attrCols[f] = -1
+		if name == "" {
+			continue
+		}
+		if c, ok := col[name]; ok {
+			attrCols[f] = c
+		}
+	}
+
+	type driveAcc struct {
+		model string
+		rows  []row
+	}
+	drives := map[string]*driveAcc{}
+	var minDate, maxDate int64
+	first := true
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		get := func(name string) string {
+			i := col[name]
+			if i < len(fields) {
+				return strings.TrimSpace(fields[i])
+			}
+			return ""
+		}
+		t, err := time.Parse("2006-01-02", get("date"))
+		if err != nil {
+			return nil, fmt.Errorf("smartio: line %d: bad date: %v", lineNo, err)
+		}
+		epochDay := t.Unix() / 86400
+		if first || epochDay < minDate {
+			minDate = epochDay
+		}
+		if first || epochDay > maxDate {
+			maxDate = epochDay
+		}
+		first = false
+
+		serial := get("serial_number")
+		if serial == "" {
+			return nil, fmt.Errorf("smartio: line %d: empty serial", lineNo)
+		}
+		acc := drives[serial]
+		if acc == nil {
+			acc = &driveAcc{model: get("model")}
+			drives[serial] = acc
+		}
+		var rec row
+		rec.day = int32(epochDay) // rebased after the scan
+		rec.failure = get("failure") == "1"
+		for f := 0; f < numFields; f++ {
+			if attrCols[f] < 0 || attrCols[f] >= len(fields) {
+				continue
+			}
+			s := strings.TrimSpace(fields[attrCols[f]])
+			if s == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				continue // tolerate junk in SMART columns, as real exports require
+			}
+			rec.vals[f] = v
+			rec.has[f] = true
+		}
+		acc.rows = append(acc.rows, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if first {
+		return nil, fmt.Errorf("smartio: no data rows")
+	}
+
+	fleet := &trace.Fleet{Horizon: int32(maxDate-minDate) + 2}
+	serials := make([]string, 0, len(drives))
+	for s := range drives {
+		serials = append(serials, s)
+	}
+	sort.Strings(serials)
+	for _, serial := range serials {
+		acc := drives[serial]
+		d := buildDrive(serial, acc.model, acc.rows, int32(minDate), o)
+		fleet.Drives = append(fleet.Drives, d)
+	}
+	if err := fleet.Validate(); err != nil {
+		return nil, fmt.Errorf("smartio: converted fleet invalid: %w", err)
+	}
+	return fleet, nil
+}
+
+// buildDrive converts one drive's rows into a trace.Drive.
+func buildDrive(serial, model string, rows []row, minDate int32, o Options) trace.Drive {
+	h := fnv.New32a()
+	h.Write([]byte(serial))
+	d := trace.Drive{ID: h.Sum32(), Model: o.ModelMap(model)}
+
+	sort.Slice(rows, func(a, b int) bool { return rows[a].day < rows[b].day })
+	// Deduplicate days (keep the last row for a day).
+	dedup := rows[:0]
+	for i := 0; i < len(rows); i++ {
+		if len(dedup) > 0 && dedup[len(dedup)-1].day == rows[i].day {
+			dedup[len(dedup)-1] = rows[i]
+			continue
+		}
+		dedup = append(dedup, rows[i])
+	}
+	rows = dedup
+
+	firstDay := rows[0].day
+	// Prefer power-on hours for the age origin when present: a drive
+	// may enter the dataset mid-life.
+	ageOffset := int32(0)
+	if rows[0].has[fPOH] {
+		ageOffset = int32(rows[0].vals[fPOH] / 24)
+	}
+
+	var prev *row
+	var prevRec *trace.DayRecord
+	failed := false
+	for i := range rows {
+		rw := &rows[i]
+		var rec trace.DayRecord
+		rec.Day = rw.day - minDate
+		rec.Age = rw.day - firstDay + ageOffset
+
+		cumW := monotone(rw, prev, fLBAW)
+		cumR := monotone(rw, prev, fLBAR)
+		rec.CumWrites = uint64(cumW)
+		rec.CumReads = uint64(cumR)
+		if prevRec != nil {
+			rec.Writes = delta(rec.CumWrites, prevRec.CumWrites)
+			rec.Reads = delta(rec.CumReads, prevRec.CumReads)
+		} else {
+			// First observation: attribute nominal activity so the day
+			// counts as operational.
+			rec.Writes = 1
+			rec.Reads = 1
+		}
+		if rw.has[fWear] {
+			rec.PECycles = rw.vals[fWear]
+		} else {
+			rec.PECycles = cumW / o.WritesPerPECycle
+		}
+		grown := monotone(rw, prev, fRealloc) + monotone(rw, prev, fPending)
+		rec.GrownBadBlocks = uint32(grown)
+
+		setCum := func(kind trace.ErrorKind, field int) {
+			cum := monotone(rw, prev, field)
+			rec.CumErrors[kind] = uint64(cum)
+			if prevRec != nil {
+				rec.Errors[kind] = uint32(delta(rec.CumErrors[kind], prevRec.CumErrors[kind]))
+			}
+		}
+		setCum(trace.ErrUncorrectable, fUncorr)
+		setCum(trace.ErrTimeout, fTimeout)
+		setCum(trace.ErrFinalWrite, fProgFail)
+		setCum(trace.ErrErase, fEraseFail)
+		setCum(trace.ErrResponse, fCRC)
+
+		// Keep cumulative counters monotone even when SMART resets.
+		if prevRec != nil {
+			if rec.PECycles < prevRec.PECycles {
+				rec.PECycles = prevRec.PECycles
+			}
+			if rec.GrownBadBlocks < prevRec.GrownBadBlocks {
+				rec.GrownBadBlocks = prevRec.GrownBadBlocks
+			}
+		}
+		rec.Dead = rw.failure
+		d.Days = append(d.Days, rec)
+		prev = rw
+		prevRec = &d.Days[len(d.Days)-1]
+		if rw.failure {
+			failed = true
+		}
+	}
+	if failed {
+		// Backblaze marks the last operational day with failure=1; the
+		// physical replacement is the next day.
+		d.Swaps = append(d.Swaps, trace.SwapEvent{Day: d.Days[len(d.Days)-1].Day + 1})
+	}
+	return d
+}
+
+// monotone returns the cumulative value of field at rw, carrying the
+// previous value forward when the column is missing and clamping
+// decreases (SMART counters occasionally reset).
+func monotone(rw, prev *row, field int) float64 {
+	v := 0.0
+	if rw.has[field] {
+		v = rw.vals[field]
+	} else if prev != nil && prev.has[field] {
+		v = prev.vals[field]
+		rw.vals[field] = v
+		rw.has[field] = true
+	}
+	if prev != nil && prev.has[field] && v < prev.vals[field] {
+		v = prev.vals[field]
+		rw.vals[field] = v
+	}
+	return v
+}
+
+// delta returns a-b clamped at 0 for unsigned counters.
+func delta(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}

@@ -1,0 +1,184 @@
+package smartio
+
+import (
+	"strings"
+	"testing"
+
+	"ssdfail/internal/failure"
+	"ssdfail/internal/trace"
+)
+
+const sampleCSV = `date,serial_number,model,capacity_bytes,failure,smart_5_raw,smart_9_raw,smart_187_raw,smart_241_raw,smart_242_raw
+2023-01-01,SER1,VendorX SSD,480000000000,0,0,2400,0,1000000,2000000
+2023-01-02,SER1,VendorX SSD,480000000000,0,1,2424,2,1100000,2200000
+2023-01-03,SER1,VendorX SSD,480000000000,1,3,2448,5,1150000,2300000
+2023-01-01,SER2,VendorY SSD,480000000000,0,0,48,0,500000,900000
+2023-01-02,SER2,VendorY SSD,480000000000,0,0,72,0,600000,1000000
+2023-01-03,SER2,VendorY SSD,480000000000,0,0,96,0,700000,1100000
+`
+
+func TestReadCSVBasic(t *testing.T) {
+	fleet, err := ReadCSV(strings.NewReader(sampleCSV), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Drives) != 2 {
+		t.Fatalf("drives = %d, want 2", len(fleet.Drives))
+	}
+	if err := fleet.Validate(); err != nil {
+		t.Fatalf("fleet invalid: %v", err)
+	}
+	// Drives are sorted by serial: SER1 then SER2.
+	d1 := &fleet.Drives[0]
+	if len(d1.Days) != 3 {
+		t.Fatalf("SER1 days = %d", len(d1.Days))
+	}
+	if len(d1.Swaps) != 1 || d1.Swaps[0].Day != d1.Days[2].Day+1 {
+		t.Fatalf("SER1 swaps = %+v", d1.Swaps)
+	}
+	d2 := &fleet.Drives[1]
+	if len(d2.Swaps) != 0 {
+		t.Fatal("SER2 should not have failed")
+	}
+}
+
+func TestReadCSVCounters(t *testing.T) {
+	fleet, err := ReadCSV(strings.NewReader(sampleCSV), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := &fleet.Drives[0]
+	// Day 2: cumulative writes 1.1e6, daily delta 1e5.
+	if d1.Days[1].CumWrites != 1100000 || d1.Days[1].Writes != 100000 {
+		t.Errorf("day2 writes: cum %d daily %d", d1.Days[1].CumWrites, d1.Days[1].Writes)
+	}
+	// Day 2: uncorrectable cumulative 2, daily 2; day 3: cumulative 5, daily 3.
+	if d1.Days[1].CumErrors[trace.ErrUncorrectable] != 2 ||
+		d1.Days[1].Errors[trace.ErrUncorrectable] != 2 {
+		t.Errorf("day2 UE = %d/%d", d1.Days[1].Errors[trace.ErrUncorrectable],
+			d1.Days[1].CumErrors[trace.ErrUncorrectable])
+	}
+	if d1.Days[2].Errors[trace.ErrUncorrectable] != 3 {
+		t.Errorf("day3 daily UE = %d", d1.Days[2].Errors[trace.ErrUncorrectable])
+	}
+	// Reallocated + pending -> grown bad blocks.
+	if d1.Days[2].GrownBadBlocks != 3 {
+		t.Errorf("grown BB = %d, want 3", d1.Days[2].GrownBadBlocks)
+	}
+	// Age: SER1 entered with 2400 power-on hours = 100 days.
+	if d1.Days[0].Age != 100 || d1.Days[2].Age != 102 {
+		t.Errorf("ages = %d..%d, want 100..102", d1.Days[0].Age, d1.Days[2].Age)
+	}
+	// SER2 entered with 48h = 2 days.
+	if fleet.Drives[1].Days[0].Age != 2 {
+		t.Errorf("SER2 age = %d, want 2", fleet.Drives[1].Days[0].Age)
+	}
+}
+
+func TestReadCSVRequiresColumns(t *testing.T) {
+	bad := "serial_number,model,failure\nX,Y,0\n"
+	if _, err := ReadCSV(strings.NewReader(bad), Options{}); err == nil {
+		t.Error("missing date column should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader(""), Options{}); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("date,serial_number,model,failure\n"), Options{}); err == nil {
+		t.Error("header-only input should fail")
+	}
+}
+
+func TestReadCSVBadDate(t *testing.T) {
+	bad := "date,serial_number,model,failure\nnot-a-date,S,M,0\n"
+	if _, err := ReadCSV(strings.NewReader(bad), Options{}); err == nil {
+		t.Error("bad date should fail")
+	}
+}
+
+func TestReadCSVToleratesJunkSmartValues(t *testing.T) {
+	in := "date,serial_number,model,failure,smart_5_raw\n" +
+		"2023-01-01,S,M,0,garbage\n" +
+		"2023-01-02,S,M,0,7\n"
+	fleet, err := ReadCSV(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Drives[0].Days[1].GrownBadBlocks != 7 {
+		t.Errorf("grown = %d", fleet.Drives[0].Days[1].GrownBadBlocks)
+	}
+}
+
+func TestReadCSVCounterResetClamped(t *testing.T) {
+	// SMART counters occasionally reset; cumulative fields must stay
+	// monotone so the fleet validates.
+	in := "date,serial_number,model,failure,smart_187_raw,smart_241_raw\n" +
+		"2023-01-01,S,M,0,10,1000\n" +
+		"2023-01-02,S,M,0,3,900\n" + // reset
+		"2023-01-03,S,M,0,12,1100\n"
+	fleet, err := ReadCSV(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &fleet.Drives[0]
+	if d.Days[1].CumErrors[trace.ErrUncorrectable] != 10 {
+		t.Errorf("reset not clamped: %d", d.Days[1].CumErrors[trace.ErrUncorrectable])
+	}
+	if d.Days[2].CumErrors[trace.ErrUncorrectable] != 12 {
+		t.Errorf("post-reset cum = %d", d.Days[2].CumErrors[trace.ErrUncorrectable])
+	}
+}
+
+func TestReadCSVDuplicateDaysDeduplicated(t *testing.T) {
+	in := "date,serial_number,model,failure,smart_241_raw\n" +
+		"2023-01-01,S,M,0,100\n" +
+		"2023-01-01,S,M,0,200\n" +
+		"2023-01-02,S,M,0,300\n"
+	fleet, err := ReadCSV(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Drives[0].Days) != 2 {
+		t.Fatalf("days = %d, want 2", len(fleet.Drives[0].Days))
+	}
+	if fleet.Drives[0].Days[0].CumWrites != 200 {
+		t.Errorf("dedup should keep the last row, got %d", fleet.Drives[0].Days[0].CumWrites)
+	}
+}
+
+func TestModelMap(t *testing.T) {
+	in := "date,serial_number,model,failure\n2023-01-01,S,AnyModel,0\n"
+	fleet, err := ReadCSV(strings.NewReader(in), Options{
+		ModelMap: func(string) trace.Model { return trace.MLCD },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Drives[0].Model != trace.MLCD {
+		t.Errorf("model = %v", fleet.Drives[0].Model)
+	}
+	// Default hashing is deterministic.
+	if hashModel("abc") != hashModel("abc") {
+		t.Error("hashModel not deterministic")
+	}
+}
+
+// TestPipelineRunsOnSMARTImport is the end-to-end check: the failure
+// reconstruction must work on an imported fleet.
+func TestPipelineRunsOnSMARTImport(t *testing.T) {
+	fleet, err := ReadCSV(strings.NewReader(sampleCSV), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := failure.Analyze(fleet)
+	if len(an.Events) != 1 {
+		t.Fatalf("events = %d, want 1", len(an.Events))
+	}
+	e := an.Events[0]
+	// Failure day = the marked last operational day.
+	if e.NonOpDays != 1 {
+		t.Errorf("non-op days = %d, want 1", e.NonOpDays)
+	}
+	if e.Age != 102 {
+		t.Errorf("failure age = %d, want 102", e.Age)
+	}
+}

@@ -1,0 +1,184 @@
+// Package sparepool simulates spare-drive inventory against a fleet's
+// failure and repair processes with a discrete-event model: swaps
+// consume spares, procurement replenishes them after a lead time, and
+// repaired drives re-enter the pool. It turns the paper's motivation
+// ("being able to predict an upcoming retirement could allow early
+// action") into a quantitative planning tool: given a replay of swap
+// events, it reports stockout days, service level, and average inventory
+// for a candidate policy.
+package sparepool
+
+import (
+	"errors"
+	"sort"
+
+	"ssdfail/internal/failure"
+)
+
+// Policy is a (s, Q) reorder policy: when on-hand plus on-order
+// inventory falls to ReorderPoint or below, order OrderQty spares that
+// arrive after LeadTimeDays.
+type Policy struct {
+	InitialSpares int
+	ReorderPoint  int
+	OrderQty      int
+	LeadTimeDays  int32
+	// ReuseRepaired adds drives returning from repair back into the
+	// spare pool (the paper finds only ~half ever return).
+	ReuseRepaired bool
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Days            int32
+	Swaps           int   // demand events
+	Stockouts       int   // swaps that found no spare on hand
+	StockoutDays    int32 // days with zero on-hand inventory
+	OrdersPlaced    int
+	SparesConsumed  int
+	RepairsReturned int
+	AvgOnHand       float64
+	ServiceLevel    float64 // fraction of swaps served immediately
+}
+
+// event kinds in the queue.
+type evKind uint8
+
+const (
+	evSwap evKind = iota
+	evOrderArrival
+	evRepairReturn
+)
+
+type event struct {
+	day  int32
+	kind evKind
+	qty  int
+}
+
+// Simulate replays the fleet's reconstructed swap and repair events
+// against the policy. Demand is one spare per swap; repaired drives
+// return on their observed re-entry day when ReuseRepaired is set.
+func Simulate(an *failure.Analysis, p Policy) (Result, error) {
+	if p.InitialSpares < 0 || p.OrderQty < 0 || p.LeadTimeDays < 0 {
+		return Result{}, errors.New("sparepool: negative policy parameter")
+	}
+	horizon := an.Fleet.Horizon
+	var events []event
+	for i := range an.Events {
+		e := &an.Events[i]
+		events = append(events, event{day: e.SwapDay, kind: evSwap})
+		if p.ReuseRepaired && e.ReturnDay >= 0 {
+			events = append(events, event{day: e.ReturnDay, kind: evRepairReturn, qty: 1})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].day < events[b].day })
+
+	res := Result{Days: horizon}
+	onHand := p.InitialSpares
+	onOrder := 0
+	var pending []event // order arrivals, kept sorted by day
+
+	var inventoryIntegral float64
+	lastDay := int32(0)
+	advance := func(to int32) {
+		if to > lastDay {
+			inventoryIntegral += float64(onHand) * float64(to-lastDay)
+			if onHand == 0 {
+				res.StockoutDays += to - lastDay
+			}
+			lastDay = to
+		}
+	}
+	reorder := func(day int32) {
+		for onHand+onOrder <= p.ReorderPoint && p.OrderQty > 0 {
+			onOrder += p.OrderQty
+			res.OrdersPlaced++
+			pending = append(pending, event{day: day + p.LeadTimeDays, kind: evOrderArrival, qty: p.OrderQty})
+		}
+	}
+	reorder(0)
+
+	ei := 0
+	for ei < len(events) || len(pending) > 0 {
+		// Next event across both queues.
+		nextDay := horizon
+		src := -1
+		if ei < len(events) && events[ei].day < nextDay {
+			nextDay = events[ei].day
+			src = 0
+		}
+		if len(pending) > 0 {
+			// pending is append-ordered by arrival day because lead
+			// time is constant; its head is the earliest arrival.
+			if pending[0].day < nextDay || (pending[0].day == nextDay && src == -1) {
+				nextDay = pending[0].day
+				src = 1
+			} else if pending[0].day == nextDay {
+				src = 1 // arrivals land before same-day demand
+			}
+		}
+		if src == -1 || nextDay >= horizon {
+			break
+		}
+		advance(nextDay)
+		if src == 1 {
+			onHand += pending[0].qty
+			onOrder -= pending[0].qty
+			pending = pending[1:]
+			continue
+		}
+		ev := events[ei]
+		ei++
+		switch ev.kind {
+		case evSwap:
+			res.Swaps++
+			if onHand > 0 {
+				onHand--
+				res.SparesConsumed++
+			} else {
+				res.Stockouts++
+			}
+			reorder(ev.day)
+		case evRepairReturn:
+			res.RepairsReturned++
+			onHand += ev.qty
+		}
+	}
+	advance(horizon)
+
+	if horizon > 0 {
+		res.AvgOnHand = inventoryIntegral / float64(horizon)
+	}
+	if res.Swaps > 0 {
+		res.ServiceLevel = float64(res.Swaps-res.Stockouts) / float64(res.Swaps)
+	} else {
+		res.ServiceLevel = 1
+	}
+	return res, nil
+}
+
+// MinimalSpares searches for the smallest initial spare count achieving
+// the target service level under the policy (holding the other fields
+// fixed and disabling reordering), by linear scan. It answers the
+// planner's question "how many spares must be on the shelf to survive
+// the horizon".
+func MinimalSpares(an *failure.Analysis, target float64, reuseRepaired bool) (int, Result, error) {
+	if target <= 0 || target > 1 {
+		return 0, Result{}, errors.New("sparepool: target service level outside (0, 1]")
+	}
+	for spares := 0; spares <= len(an.Events)+1; spares++ {
+		res, err := Simulate(an, Policy{
+			InitialSpares: spares,
+			ReuseRepaired: reuseRepaired,
+		})
+		if err != nil {
+			return 0, Result{}, err
+		}
+		if res.ServiceLevel >= target {
+			return spares, res, nil
+		}
+	}
+	res, err := Simulate(an, Policy{InitialSpares: len(an.Events) + 1, ReuseRepaired: reuseRepaired})
+	return len(an.Events) + 1, res, err
+}

@@ -1,0 +1,176 @@
+package sparepool
+
+import (
+	"testing"
+
+	"ssdfail/internal/failure"
+	"ssdfail/internal/fleetsim"
+	"ssdfail/internal/trace"
+)
+
+// manualAnalysis builds an Analysis with hand-placed swaps/returns.
+func manualAnalysis(horizon int32, events []failure.Event) *failure.Analysis {
+	f := &trace.Fleet{Horizon: horizon}
+	an := &failure.Analysis{Fleet: f, Events: events}
+	return an
+}
+
+func TestSimulateBasicConsumption(t *testing.T) {
+	an := manualAnalysis(100, []failure.Event{
+		{SwapDay: 10, ReturnDay: -1},
+		{SwapDay: 20, ReturnDay: -1},
+		{SwapDay: 30, ReturnDay: -1},
+	})
+	res, err := Simulate(an, Policy{InitialSpares: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swaps != 3 || res.SparesConsumed != 2 || res.Stockouts != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.ServiceLevel < 0.66 || res.ServiceLevel > 0.67 {
+		t.Errorf("service level = %v", res.ServiceLevel)
+	}
+	if res.StockoutDays == 0 {
+		t.Error("expected stockout days after spares ran out")
+	}
+}
+
+func TestSimulateReordering(t *testing.T) {
+	an := manualAnalysis(100, []failure.Event{
+		{SwapDay: 10, ReturnDay: -1},
+		{SwapDay: 40, ReturnDay: -1}, // order placed at day 10 arrives day 20
+	})
+	res, err := Simulate(an, Policy{
+		InitialSpares: 1, ReorderPoint: 0, OrderQty: 1, LeadTimeDays: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stockouts != 0 {
+		t.Fatalf("reordering should prevent stockouts: %+v", res)
+	}
+	if res.OrdersPlaced == 0 {
+		t.Error("no orders placed")
+	}
+}
+
+func TestSimulateLeadTimeTooLong(t *testing.T) {
+	an := manualAnalysis(100, []failure.Event{
+		{SwapDay: 10, ReturnDay: -1},
+		{SwapDay: 12, ReturnDay: -1}, // arrives before the day-40 order
+	})
+	res, err := Simulate(an, Policy{
+		InitialSpares: 1, ReorderPoint: 0, OrderQty: 1, LeadTimeDays: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stockouts != 1 {
+		t.Fatalf("slow order should stock out once: %+v", res)
+	}
+}
+
+func TestSimulateRepairReuse(t *testing.T) {
+	an := manualAnalysis(100, []failure.Event{
+		{SwapDay: 10, ReturnDay: 20},
+		{SwapDay: 30, ReturnDay: -1}, // served by the returned drive
+	})
+	with, err := Simulate(an, Policy{InitialSpares: 1, ReuseRepaired: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Stockouts != 0 || with.RepairsReturned != 1 {
+		t.Fatalf("with reuse: %+v", with)
+	}
+	without, err := Simulate(an, Policy{InitialSpares: 1, ReuseRepaired: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.Stockouts != 1 {
+		t.Fatalf("without reuse: %+v", without)
+	}
+}
+
+func TestSimulateRejectsNegativePolicy(t *testing.T) {
+	an := manualAnalysis(10, nil)
+	if _, err := Simulate(an, Policy{InitialSpares: -1}); err == nil {
+		t.Error("negative spares should error")
+	}
+}
+
+func TestSimulateNoEvents(t *testing.T) {
+	an := manualAnalysis(50, nil)
+	res, err := Simulate(an, Policy{InitialSpares: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServiceLevel != 1 || res.AvgOnHand != 3 {
+		t.Fatalf("idle pool: %+v", res)
+	}
+}
+
+func TestMinimalSpares(t *testing.T) {
+	an := manualAnalysis(100, []failure.Event{
+		{SwapDay: 10, ReturnDay: -1},
+		{SwapDay: 20, ReturnDay: -1},
+		{SwapDay: 30, ReturnDay: -1},
+	})
+	n, res, err := MinimalSpares(an, 1.0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || res.Stockouts != 0 {
+		t.Fatalf("minimal spares = %d (%+v), want 3", n, res)
+	}
+	// 2/3 service level needs only 2.
+	n, _, err = MinimalSpares(an, 0.66, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("minimal spares at 66%% = %d, want 2", n)
+	}
+	if _, _, err := MinimalSpares(an, 1.5, false); err == nil {
+		t.Error("invalid target should error")
+	}
+}
+
+// TestSimulateOnRealFleet exercises the simulator end-to-end on a
+// generated fleet: repair reuse must never hurt, and more spares must
+// never lower the service level.
+func TestSimulateOnRealFleet(t *testing.T) {
+	cfg := fleetsim.DefaultConfig(3, 100)
+	cfg.HorizonDays = 1500
+	cfg.EarlyWindow = 400
+	fleet, _, err := fleetsim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := failure.Analyze(fleet)
+	if len(an.Events) == 0 {
+		t.Skip("no failures in sample")
+	}
+	prev := -1.0
+	for _, spares := range []int{0, 2, 5, 10, 50} {
+		res, err := Simulate(an, Policy{InitialSpares: spares})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ServiceLevel < prev-1e-12 {
+			t.Fatalf("service level decreased with more spares: %v -> %v", prev, res.ServiceLevel)
+		}
+		prev = res.ServiceLevel
+	}
+	base, err := Simulate(an, Policy{InitialSpares: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reuse, err := Simulate(an, Policy{InitialSpares: 3, ReuseRepaired: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reuse.ServiceLevel+1e-12 < base.ServiceLevel {
+		t.Errorf("repair reuse lowered service: %v vs %v", reuse.ServiceLevel, base.ServiceLevel)
+	}
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the two-sample Kolmogorov-Smirnov statistic: the
+// maximum absolute difference between the empirical CDFs of xs and ys.
+func KSStatistic(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		return math.NaN()
+	}
+	a := make([]float64, len(xs))
+	copy(a, xs)
+	sort.Float64s(a)
+	b := make([]float64, len(ys))
+	copy(b, ys)
+	sort.Float64s(b)
+	var d float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// Advance both sides through the smaller value (and all ties)
+		// before comparing the CDFs, so equal observations never create
+		// a spurious gap.
+		x := a[i]
+		if b[j] < x {
+			x = b[j]
+		}
+		for i < len(a) && a[i] == x {
+			i++
+		}
+		for j < len(b) && b[j] == x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSPValue returns the asymptotic p-value for the two-sample KS
+// statistic d with sample sizes n and m (Kolmogorov distribution tail).
+func KSPValue(d float64, n, m int) float64 {
+	if math.IsNaN(d) || n == 0 || m == 0 {
+		return math.NaN()
+	}
+	ne := float64(n) * float64(m) / float64(n+m)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	if lambda < 0.2 {
+		return 1 // the Kolmogorov tail sum does not converge near zero
+	}
+	// Two-sided Kolmogorov tail sum.
+	var sum float64
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k*k) * lambda * lambda)
+		if k%2 == 1 {
+			sum += term
+		} else {
+			sum -= term
+		}
+		if term < 1e-12 {
+			break
+		}
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// KSUniform returns the one-sample KS statistic of xs against the
+// Uniform(0,1) distribution, for RNG validation.
+func KSUniform(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	a := make([]float64, len(xs))
+	copy(a, xs)
+	sort.Float64s(a)
+	var d float64
+	n := float64(len(a))
+	for i, x := range a {
+		lo := math.Abs(x - float64(i)/n)
+		hi := math.Abs(float64(i+1)/n - x)
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}

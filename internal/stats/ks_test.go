@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSStatisticIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := KSStatistic(xs, xs); got > 0.2 {
+		t.Errorf("KS of identical samples = %v", got)
+	}
+}
+
+func TestKSStatisticDisjointSamples(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{10, 11, 12}
+	if got := KSStatistic(xs, ys); got != 1 {
+		t.Errorf("KS of disjoint samples = %v, want 1", got)
+	}
+}
+
+func TestKSStatisticEmpty(t *testing.T) {
+	if !math.IsNaN(KSStatistic(nil, []float64{1})) {
+		t.Error("empty sample should give NaN")
+	}
+}
+
+func TestKSSameDistributionLargeSamples(t *testing.T) {
+	rng := newTestRand(4)
+	xs := make([]float64, 3000)
+	ys := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	d := KSStatistic(xs, ys)
+	p := KSPValue(d, len(xs), len(ys))
+	if p < 0.001 {
+		t.Errorf("same-distribution KS rejected: d=%v p=%v", d, p)
+	}
+	// Shifted distribution must be strongly rejected.
+	for i := range ys {
+		ys[i] += 1
+	}
+	d = KSStatistic(xs, ys)
+	if p = KSPValue(d, len(xs), len(ys)); p > 1e-6 {
+		t.Errorf("shifted distribution not rejected: d=%v p=%v", d, p)
+	}
+}
+
+func TestKSPValueBounds(t *testing.T) {
+	if p := KSPValue(0, 100, 100); p < 0.99 {
+		t.Errorf("p for d=0 should be ~1, got %v", p)
+	}
+	if p := KSPValue(1, 100, 100); p > 1e-10 {
+		t.Errorf("p for d=1 should be ~0, got %v", p)
+	}
+	if !math.IsNaN(KSPValue(math.NaN(), 10, 10)) {
+		t.Error("NaN d should give NaN p")
+	}
+}
+
+func TestKSUniform(t *testing.T) {
+	// A uniform grid should have a tiny KS statistic.
+	n := 1000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = (float64(i) + 0.5) / float64(n)
+	}
+	if d := KSUniform(xs); d > 0.01 {
+		t.Errorf("uniform grid KS = %v", d)
+	}
+	// A squashed sample is far from uniform.
+	for i := range xs {
+		xs[i] = xs[i] * 0.5
+	}
+	if d := KSUniform(xs); d < 0.4 {
+		t.Errorf("squashed sample KS = %v, want ~0.5", d)
+	}
+	if !math.IsNaN(KSUniform(nil)) {
+		t.Error("empty KSUniform should be NaN")
+	}
+}
