@@ -11,10 +11,12 @@ package ssdfail_test
 import (
 	"bytes"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
 
+	"ssdfail/internal/core"
 	"ssdfail/internal/dataset"
 	"ssdfail/internal/eval"
 	"ssdfail/internal/experiments"
@@ -22,6 +24,7 @@ import (
 	"ssdfail/internal/fleetsim"
 	"ssdfail/internal/ml/forest"
 	"ssdfail/internal/ml/gbdt"
+	"ssdfail/internal/serve"
 	"ssdfail/internal/sparepool"
 	"ssdfail/internal/trace"
 )
@@ -187,6 +190,55 @@ func BenchmarkForestSerialization(b *testing.B) {
 		if err := g.UnmarshalBinary(data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServeScoreFleet measures the serving daemon's batch-scoring
+// hot path: a full-fleet scoring pass over the drive-state store's
+// snapshot (latest + previous report per drive), as triggered by
+// GET /v1/watchlist, at one worker and at GOMAXPROCS workers.
+func BenchmarkServeScoreFleet(b *testing.B) {
+	ctx := getBenchCtx(b)
+	store := serve.NewStore(0, 0)
+	for di := range ctx.Fleet.Drives {
+		d := &ctx.Fleet.Drives[di]
+		lo := len(d.Days) - 2
+		if lo < 0 {
+			lo = 0
+		}
+		for _, r := range d.Days[lo:] {
+			if err := store.Upsert(d.ID, d.Model, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	fcfg := forest.DefaultConfig()
+	fcfg.Trees = 50
+	fcfg.Seed = 7
+	pred, err := core.NewStudy(ctx.Fleet).TrainPredictor(core.PredictorOptions{
+		Lookahead: 3,
+		Factory:   forest.NewFactory(fcfg),
+		Seed:      7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	units := store.ScoreUnits(0)
+	if len(units) == 0 {
+		b.Fatal("empty fleet snapshot")
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			sc := serve.NewScorer(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scored := sc.Score(pred, units)
+				if len(scored) != len(units) {
+					b.Fatal("short scoring pass")
+				}
+			}
+			b.ReportMetric(float64(len(units))*float64(b.N)/b.Elapsed().Seconds(), "drives/s")
+		})
 	}
 }
 

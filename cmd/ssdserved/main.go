@@ -1,0 +1,142 @@
+// Command ssdserved is the online fleet-scoring daemon: it ingests
+// per-drive daily telemetry over HTTP, maintains a sharded in-memory
+// fleet state, scores drives with a serialized random-forest predictor
+// (hot-swappable at runtime), and serves the ranked watchlist the paper
+// proposes for proactive fleet management (§5, Figures 14–15).
+//
+// Usage:
+//
+//	ssdserved -model pred.bin [-addr :8377] [-bootstrap]
+//
+// With -bootstrap, a missing model file is trained on a simulated fleet
+// and saved to -model first, so the daemon can be tried end to end
+// without any prior artifacts:
+//
+//	ssdserved -model /tmp/pred.bin -bootstrap
+//	curl -s localhost:8377/healthz
+//	curl -s -X POST localhost:8377/v1/ingest/batch -d @day.json
+//	curl -s 'localhost:8377/v1/watchlist?k=10&threshold=0.5'
+//	curl -s -X POST localhost:8377/v1/model/reload
+//	curl -s localhost:8377/metrics
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ssdfail/internal/core"
+	"ssdfail/internal/ml/forest"
+	"ssdfail/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8377", "listen address")
+		modelPath = flag.String("model", "ssdserved-model.bin", "predictor file (core.Predictor.Save format)")
+		bootstrap = flag.Bool("bootstrap", false, "train and save a model to -model if the file is missing")
+		seed      = flag.Uint64("seed", 42, "simulation seed for -bootstrap")
+		drives    = flag.Int("drives", 150, "drives per model simulated for -bootstrap")
+		lookahead = flag.Int("lookahead", 3, "prediction lookahead in days for -bootstrap")
+		trees     = flag.Int("trees", 50, "random-forest size for -bootstrap")
+		shards    = flag.Int("shards", serve.DefaultShards, "drive-store shard count")
+		history   = flag.Int("history", serve.DefaultHistory, "daily reports retained per drive")
+		workers   = flag.Int("workers", 0, "batch-scoring workers (0 = all CPUs)")
+		threshold = flag.Float64("threshold", 0.9, "default watchlist score threshold (paper's low-FPR operating point)")
+		k         = flag.Int("k", 50, "default watchlist length")
+		maxBody   = flag.Int64("max-body", 8<<20, "maximum ingest request body in bytes")
+		drainFor  = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	if *bootstrap {
+		if err := bootstrapModel(*modelPath, *seed, *drives, *lookahead, *trees, *workers); err != nil {
+			log.Fatalf("ssdserved: bootstrap: %v", err)
+		}
+	}
+
+	srv, err := serve.New(serve.Config{
+		ModelPath:          *modelPath,
+		Shards:             *shards,
+		History:            *history,
+		Workers:            *workers,
+		MaxBodyBytes:       *maxBody,
+		WatchlistThreshold: *threshold,
+		WatchlistK:         *k,
+	})
+	if err != nil {
+		log.Fatalf("ssdserved: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("ssdserved: serving on %s (model %s)", *addr, *modelPath)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("ssdserved: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("ssdserved: signal received, draining for up to %v", *drainFor)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("ssdserved: forced shutdown: %v", err)
+		httpSrv.Close()
+	}
+	log.Printf("ssdserved: bye")
+}
+
+// bootstrapModel trains a predictor on a simulated fleet and saves it,
+// unless the model file already exists.
+func bootstrapModel(path string, seed uint64, drives, lookahead, trees, workers int) error {
+	if _, err := os.Stat(path); err == nil {
+		log.Printf("ssdserved: model %s exists, skipping bootstrap", path)
+		return nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	log.Printf("ssdserved: training bootstrap model (%d drives/model, lookahead %d, %d trees)",
+		drives, lookahead, trees)
+	study, err := core.GenerateStudy(seed, drives)
+	if err != nil {
+		return err
+	}
+	fcfg := forest.DefaultConfig()
+	fcfg.Trees = trees
+	fcfg.Seed = seed
+	fcfg.Workers = workers
+	pred, err := study.TrainPredictor(core.PredictorOptions{
+		Lookahead:       lookahead,
+		Factory:         forest.NewFactory(fcfg),
+		Seed:            seed,
+		Workers:         workers,
+		HoldoutFraction: 0.25,
+	})
+	if err != nil {
+		return err
+	}
+	if err := pred.Save(path); err != nil {
+		return err
+	}
+	fmt.Printf("bootstrap model saved to %s (validation AUC %.3f)\n", path, pred.ValidationAUC)
+	return nil
+}

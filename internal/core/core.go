@@ -217,6 +217,17 @@ func (p *Predictor) ScoreRecord(r, prev *trace.DayRecord) float64 {
 	return p.model.Score(m.Row(0))
 }
 
+// ScoreInto scores one daily report like ScoreRecord but reuses the
+// caller's scratch matrix, so batch-scoring loops (e.g. the serving
+// daemon's fleet scorer) allocate per worker instead of per drive. The
+// scratch matrix is reset first and must not be shared across
+// goroutines.
+func (p *Predictor) ScoreInto(scratch *dataset.Matrix, r, prev *trace.DayRecord) float64 {
+	scratch.Reset()
+	scratch.AppendFeatureRow(r, prev)
+	return p.model.Score(scratch.Row(0))
+}
+
 // ScoreDrive scores a drive's most recent report, or returns 0 when the
 // drive has no records.
 func (p *Predictor) ScoreDrive(d *trace.Drive) float64 {
@@ -260,19 +271,45 @@ func LoadPredictor(path string) (*Predictor, error) {
 	if err != nil {
 		return nil, err
 	}
+	return DecodePredictor(data)
+}
+
+// DecodePredictor parses a predictor from the byte format written by
+// Save. The whole buffer must be consumed: trailing garbage is
+// rejected, since the daemon loads these bytes from untrusted disk
+// state at runtime.
+func DecodePredictor(data []byte) (*Predictor, error) {
 	if len(data) < 12 || string(data[:4]) != "SSDP" {
 		return nil, fmt.Errorf("core: not a predictor file")
 	}
 	lookahead := int(binary.LittleEndian.Uint32(data[4:8]))
 	n := int(binary.LittleEndian.Uint32(data[8:12]))
-	if 12+n > len(data) {
-		return nil, fmt.Errorf("core: truncated predictor file")
+	if n < 0 || 12+n != len(data) {
+		return nil, fmt.Errorf("core: predictor payload length %d does not match file size %d", n, len(data))
+	}
+	if lookahead < 1 {
+		return nil, fmt.Errorf("core: invalid lookahead %d", lookahead)
 	}
 	f := forest.New(forest.DefaultConfig())
 	if err := f.UnmarshalBinary(data[12 : 12+n]); err != nil {
 		return nil, err
 	}
 	return &Predictor{Lookahead: lookahead, ValidationAUC: math.NaN(), model: f}, nil
+}
+
+// ModelName returns the name of the underlying classifier.
+func (p *Predictor) ModelName() string { return p.model.Name() }
+
+// FeatureWidth returns the feature-vector width the underlying model
+// expects, or 0 when the model does not report one. Callers that build
+// feature rows themselves (e.g. the serving daemon) use this to refuse
+// models whose width does not match their pipeline instead of panicking
+// at score time.
+func (p *Predictor) FeatureWidth() int {
+	if w, ok := p.model.(interface{ Width() int }); ok {
+		return w.Width()
+	}
+	return 0
 }
 
 // WatchItem is one entry of a fleet watchlist.

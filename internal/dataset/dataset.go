@@ -92,6 +92,16 @@ func (m *Matrix) Row(i int) []float64 {
 	return m.X[i*w : (i+1)*w]
 }
 
+// Reset empties the matrix for reuse, keeping the row stride and the
+// allocated capacity of its slices.
+func (m *Matrix) Reset() {
+	m.X = m.X[:0]
+	m.Y = m.Y[:0]
+	m.DriveIdx = m.DriveIdx[:0]
+	m.Day = m.Day[:0]
+	m.Age = m.Age[:0]
+}
+
 // Positives returns the number of positive rows.
 func (m *Matrix) Positives() int {
 	n := 0

@@ -128,3 +128,13 @@ func (f *Forest) Importances() []float64 {
 
 // TreeCount returns the number of trained trees.
 func (f *Forest) TreeCount() int { return len(f.trees) }
+
+// Width returns the feature-vector width the forest was trained (or
+// deserialized) with, or 0 for an untrained forest. Score must be
+// called with vectors at least this long.
+func (f *Forest) Width() int {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	return f.trees[0].Width()
+}

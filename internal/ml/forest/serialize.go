@@ -36,7 +36,11 @@ func (f *Forest) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The payload is
+// untrusted (the serving daemon loads it from disk at runtime): the
+// declared tree count is checked against the bytes actually present
+// before allocating, every tree must decode from exactly its declared
+// span, and trailing garbage after the last tree is rejected.
 func (f *Forest) UnmarshalBinary(data []byte) error {
 	if len(data) < 12 || string(data[:4]) != forestMagic {
 		return fmt.Errorf("forest: bad magic")
@@ -61,13 +65,18 @@ func (f *Forest) UnmarshalBinary(data []byte) error {
 	if count > 1<<20 {
 		return fmt.Errorf("forest: implausible tree count %d", count)
 	}
+	// Each tree costs at least a length prefix; a count the remaining
+	// bytes cannot hold is corrupt — reject before allocating for it.
+	if int(count) > (len(data)-off)/4 {
+		return fmt.Errorf("forest: tree count %d exceeds payload size %d", count, len(data))
+	}
 	f.trees = make([]*tree.Tree, count)
 	for i := range f.trees {
 		n, err := r32()
 		if err != nil {
 			return err
 		}
-		if off+int(n) > len(data) {
+		if int(n) < 0 || off+int(n) > len(data) {
 			return fmt.Errorf("forest: truncated tree %d", i)
 		}
 		t := &tree.Tree{}
@@ -76,6 +85,9 @@ func (f *Forest) UnmarshalBinary(data []byte) error {
 		}
 		f.trees[i] = t
 		off += int(n)
+	}
+	if off != len(data) {
+		return fmt.Errorf("forest: %d trailing bytes after last tree", len(data)-off)
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package forest
 
 import (
+	"encoding/binary"
+	"strings"
 	"testing"
 
 	"ssdfail/internal/ml/mltest"
@@ -60,5 +62,52 @@ func TestForestUnmarshalRejectsGarbage(t *testing.T) {
 		if err := f.UnmarshalBinary(data[:cut]); err == nil {
 			t.Errorf("accepted truncation at %d", cut)
 		}
+	}
+}
+
+func TestForestUnmarshalCorruptInputs(t *testing.T) {
+	train := mltest.TwoBlobs(50, 3, 2)
+	g := New(Config{Trees: 3, MaxDepth: 4, MinLeaf: 2, Seed: 1})
+	if err := g.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() []byte { return append([]byte(nil), valid...) }
+	put32 := func(b []byte, off int, v uint32) []byte {
+		binary.LittleEndian.PutUint32(b[off:], v)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the expected error
+	}{
+		{"bad magic", append([]byte("FRSX"), fresh()[4:]...), "bad magic"},
+		{"wrong version", put32(fresh(), 4, forestVersion+1), "unsupported version"},
+		{"header only", fresh()[:12], "exceeds payload size"},
+		// A tree count the remaining bytes cannot possibly hold must be
+		// rejected before allocating count pointers (alloc bomb).
+		{"tree count bomb", put32(fresh(), 8, 1<<19), "exceeds payload size"},
+		{"tree count implausible", put32(fresh(), 8, 1<<21), "implausible tree count"},
+		{"tree length past end", put32(fresh(), 12, 1<<30), "truncated tree 0"},
+		{"trailing garbage", append(fresh(), 0xca, 0xfe), "trailing"},
+		// Corrupting an inner tree's magic must fail with the tree's
+		// position in the message, not be skipped.
+		{"inner tree corrupt", put32(fresh(), 16, 0), "tree 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var f Forest
+			err := f.UnmarshalBinary(tc.data)
+			if err == nil {
+				t.Fatalf("accepted corrupt input")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
 	}
 }

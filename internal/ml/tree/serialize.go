@@ -46,79 +46,73 @@ func (t *Tree) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+// Serialized sizes: the fixed header and one node record
+// (feature i32, threshold f64, left i32, right i32, prob f64).
+const (
+	treeHeaderSize = 4 + 4 + 4 + 4 // magic, version, width, nodeCount
+	treeNodeSize   = 4 + 8 + 4 + 4 + 8
+)
+
+// maxTreeWidth bounds the feature-vector width accepted from disk; it
+// is far above any real feature pipeline but keeps a corrupt header
+// from demanding a multi-gigabyte importance slice.
+const maxTreeWidth = 1 << 20
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The payload is
+// untrusted (the serving daemon loads it from disk at runtime), so the
+// decoder validates the declared sizes against the actual buffer before
+// allocating, consumes the buffer exactly (no trailing garbage), and
+// checks the node graph is a well-formed tree: child indices in range
+// and strictly increasing — the builder always appends children after
+// their parent — which guarantees Score terminates.
 func (t *Tree) UnmarshalBinary(data []byte) error {
-	r := bytes.NewReader(data)
-	magic := make([]byte, 4)
-	if _, err := r.Read(magic); err != nil || string(magic) != treeMagic {
+	if len(data) < treeHeaderSize || string(data[:4]) != treeMagic {
 		return fmt.Errorf("tree: bad magic")
 	}
-	r32 := func() (uint32, error) {
-		var b [4]byte
-		if _, err := r.Read(b[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(b[:]), nil
+	u32 := func(off int) uint32 { return binary.LittleEndian.Uint32(data[off:]) }
+	f64 := func(off int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
 	}
-	r64 := func() (float64, error) {
-		var b [8]byte
-		if _, err := r.Read(b[:]); err != nil {
-			return 0, err
-		}
-		return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	if ver := u32(4); ver != treeVersion {
+		return fmt.Errorf("tree: unsupported version %d", ver)
 	}
-	ver, err := r32()
-	if err != nil || ver != treeVersion {
-		return fmt.Errorf("tree: unsupported version")
-	}
-	width, err := r32()
-	if err != nil {
-		return err
-	}
-	count, err := r32()
-	if err != nil {
-		return err
+	width := u32(8)
+	count := u32(12)
+	if width > maxTreeWidth {
+		return fmt.Errorf("tree: implausible width %d", width)
 	}
 	if count > 1<<28 {
 		return fmt.Errorf("tree: implausible node count %d", count)
 	}
+	need := treeHeaderSize + int(count)*treeNodeSize + int(width)*8
+	if len(data) != need {
+		return fmt.Errorf("tree: payload is %d bytes, header declares %d", len(data), need)
+	}
 	t.width = int(width)
 	t.nodes = make([]node, count)
+	off := treeHeaderSize
 	for i := range t.nodes {
 		n := &t.nodes[i]
-		var v uint32
-		if v, err = r32(); err != nil {
-			return err
-		}
-		n.feature = int32(v)
-		if n.threshold, err = r64(); err != nil {
-			return err
-		}
-		if v, err = r32(); err != nil {
-			return err
-		}
-		n.left = int32(v)
-		if v, err = r32(); err != nil {
-			return err
-		}
-		n.right = int32(v)
-		if n.prob, err = r64(); err != nil {
-			return err
-		}
+		n.feature = int32(u32(off))
+		n.threshold = f64(off + 4)
+		n.left = int32(u32(off + 12))
+		n.right = int32(u32(off + 16))
+		n.prob = f64(off + 20)
+		off += treeNodeSize
 		if n.feature >= 0 {
 			if int(n.feature) >= t.width {
 				return fmt.Errorf("tree: node %d feature %d outside width %d", i, n.feature, t.width)
 			}
-			if n.left < 0 || n.right < 0 || n.left >= int32(count) || n.right >= int32(count) {
-				return fmt.Errorf("tree: node %d has dangling children", i)
+			if n.left <= int32(i) || n.right <= int32(i) ||
+				n.left >= int32(count) || n.right >= int32(count) {
+				return fmt.Errorf("tree: node %d has dangling or cyclic children", i)
 			}
 		}
 	}
 	t.importance = make([]float64, width)
 	for i := range t.importance {
-		if t.importance[i], err = r64(); err != nil {
-			return err
-		}
+		t.importance[i] = f64(off)
+		off += 8
 	}
 	return nil
 }

@@ -1,0 +1,123 @@
+package tree
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"ssdfail/internal/ml/mltest"
+)
+
+func TestTreeSerializationRoundTrip(t *testing.T) {
+	train := mltest.TwoBlobs(200, 3, 1)
+	tr := New(Config{MaxDepth: 8, MinLeaf: 2})
+	if err := tr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	data, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Tree
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeCount() != tr.NodeCount() || got.Width() != tr.Width() {
+		t.Fatalf("shape mismatch: %d/%d nodes, %d/%d width",
+			got.NodeCount(), tr.NodeCount(), got.Width(), tr.Width())
+	}
+	for i := 0; i < train.Len(); i += 7 {
+		x := train.Row(i)
+		if tr.Score(x) != got.Score(x) {
+			t.Fatalf("score mismatch at row %d", i)
+		}
+	}
+}
+
+// craftTree builds a syntactically valid serialized tree (width 2, a
+// root split and two leaves) that corrupt-input cases mutate.
+func craftTree() []byte {
+	var b []byte
+	w32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	w64 := func(v float64) { b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v)) }
+	b = append(b, treeMagic...)
+	w32(treeVersion)
+	w32(2) // width
+	w32(3) // node count
+	// node 0: split on feature 0 at 0.5
+	w32(0)
+	w64(0.5)
+	w32(1)
+	w32(2)
+	w64(0)
+	// nodes 1, 2: leaves
+	for _, p := range []float64{0.1, 0.9} {
+		w32(^uint32(0)) // feature -1
+		w64(0)
+		w32(0)
+		w32(0)
+		w64(p)
+	}
+	w64(1) // importance[0]
+	w64(0) // importance[1]
+	return b
+}
+
+func TestTreeUnmarshalCraftedRoundTrip(t *testing.T) {
+	var tr Tree
+	if err := tr.UnmarshalBinary(craftTree()); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Score([]float64{0, 0}); got != 0.1 {
+		t.Fatalf("left leaf score = %v, want 0.1", got)
+	}
+	if got := tr.Score([]float64{1, 0}); got != 0.9 {
+		t.Fatalf("right leaf score = %v, want 0.9", got)
+	}
+}
+
+func TestTreeUnmarshalCorruptInputs(t *testing.T) {
+	put32 := func(b []byte, off int, v uint32) []byte {
+		binary.LittleEndian.PutUint32(b[off:], v)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the expected error
+	}{
+		{"nil", nil, "bad magic"},
+		{"empty", []byte{}, "bad magic"},
+		{"short", []byte("TRE"), "bad magic"},
+		{"bad magic", append([]byte("TREX"), craftTree()[4:]...), "bad magic"},
+		{"wrong version", put32(craftTree(), 4, treeVersion+1), "unsupported version"},
+		{"header only", craftTree()[:treeHeaderSize], "declares"},
+		{"truncated node payload", craftTree()[:treeHeaderSize+treeNodeSize+5], "declares"},
+		{"truncated importances", craftTree()[:len(craftTree())-8], "declares"},
+		{"trailing garbage", append(craftTree(), 0xde, 0xad), "declares"},
+		// A count far beyond the buffer must be rejected before any
+		// allocation sized from it (alloc bomb).
+		{"node count bomb", put32(craftTree(), 12, 1<<27), "declares"},
+		{"node count implausible", put32(craftTree(), 12, 1<<29), "implausible node count"},
+		// A width bomb would allocate width*8 bytes of importances.
+		{"width bomb", put32(craftTree(), 8, 1<<24), "implausible width"},
+		{"feature outside width", put32(craftTree(), treeHeaderSize, 7), "outside width"},
+		// Children must point strictly forward; a self/backward edge
+		// would make Score loop forever.
+		{"cyclic child self", put32(craftTree(), treeHeaderSize+12, 0), "cyclic"},
+		{"dangling child", put32(craftTree(), treeHeaderSize+16, 9), "dangling"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var tr Tree
+			err := tr.UnmarshalBinary(tc.data)
+			if err == nil {
+				t.Fatalf("accepted corrupt input")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -267,3 +267,8 @@ func (t *Tree) Importance() []float64 {
 
 // NodeCount returns the number of nodes in the trained tree.
 func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// Width returns the feature-vector width the tree was trained (or
+// deserialized) with, or 0 for an untrained tree. Score must be called
+// with vectors at least this long.
+func (t *Tree) Width() int { return t.width }

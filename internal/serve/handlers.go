@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ssdfail/internal/trace"
+)
+
+// Config configures a Server.
+type Config struct {
+	// ModelPath is the predictor file (core.Predictor.Save format) the
+	// registry loads at startup and on POST /v1/model/reload.
+	ModelPath string
+	// Shards and History size the drive-state store; zero values use
+	// the store defaults.
+	Shards  int
+	History int
+	// Workers is the batch-scoring worker count (0 = all CPUs).
+	Workers int
+	// MaxBodyBytes caps ingest request bodies; 0 means 8 MiB.
+	MaxBodyBytes int64
+	// WatchlistThreshold is the default minimum score for /v1/watchlist.
+	// The default 0.9 is the paper's recommended low-false-positive-rate
+	// operating point (Figure 15): act on few drives, almost all of
+	// which really are about to fail.
+	WatchlistThreshold float64
+	// WatchlistK is the default maximum watchlist length (0 means 50).
+	WatchlistK int
+}
+
+const defaultMaxBody = 8 << 20
+
+// Server wires the store, registry, scorer, and metrics into an HTTP
+// handler. Create with New, mount via Handler.
+type Server struct {
+	cfg      Config
+	store    *Store
+	registry *Registry
+	scorer   *Scorer
+	metrics  *Metrics
+	start    time.Time
+
+	reqs           *CounterVec
+	reqDur         *Histogram
+	ingested       *Counter
+	ingestRejected *CounterVec
+	scoredDrives   *Counter
+	scoreDur       *Histogram
+	reloads        *Counter
+	reloadFailures *Counter
+}
+
+// New builds a server and loads the model from cfg.ModelPath. The
+// daemon refuses to start without a servable model; later reload
+// failures keep the last good model serving.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBody
+	}
+	if cfg.WatchlistThreshold == 0 {
+		cfg.WatchlistThreshold = 0.9
+	}
+	if cfg.WatchlistK == 0 {
+		cfg.WatchlistK = 50
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    NewStore(cfg.Shards, cfg.History),
+		registry: NewRegistry(cfg.ModelPath),
+		scorer:   NewScorer(cfg.Workers),
+		metrics:  NewMetrics(),
+		start:    time.Now(),
+	}
+	if _, err := s.registry.Load(); err != nil {
+		return nil, err
+	}
+	m := s.metrics
+	s.reqs = m.NewCounterVec("ssdserved_http_requests_total",
+		"HTTP requests served, by handler and status code.", "handler", "code")
+	s.reqDur = m.NewHistogram("ssdserved_http_request_duration_seconds",
+		"HTTP request latency.", DurationBuckets)
+	s.ingested = m.NewCounter("ssdserved_ingest_records_total",
+		"Drive-day records accepted into the store.")
+	s.ingestRejected = m.NewCounterVec("ssdserved_ingest_rejected_total",
+		"Drive-day records rejected at ingest, by reason.", "reason")
+	s.scoredDrives = m.NewCounter("ssdserved_scored_drives_total",
+		"Drives scored by fleet scoring passes.")
+	s.scoreDur = m.NewHistogram("ssdserved_scoring_duration_seconds",
+		"Latency of full-fleet scoring passes.", DurationBuckets)
+	s.reloads = m.NewCounter("ssdserved_model_reloads_total",
+		"Successful model (re)loads, including the startup load.")
+	s.reloadFailures = m.NewCounter("ssdserved_model_reload_failures_total",
+		"Model reloads that failed and kept the previous model.")
+	s.reloads.Inc() // the startup load above
+	m.NewGaugeFunc("ssdserved_fleet_drives",
+		"Drives currently tracked in the state store.",
+		func() float64 { return float64(s.store.Len()) })
+	m.NewGaugeFunc("ssdserved_fleet_records",
+		"Daily reports currently retained in the state store.",
+		func() float64 { return float64(s.store.Records()) })
+	m.NewGaugeFunc("ssdserved_model_version",
+		"Reload generation of the serving model (1 = startup load).",
+		func() float64 {
+			_, info, ok := s.registry.Current()
+			if !ok {
+				return 0
+			}
+			return float64(info.Version)
+		})
+	m.NewGaugeFunc("ssdserved_model_age_seconds",
+		"Seconds since the serving model was loaded.",
+		func() float64 {
+			_, info, ok := s.registry.Current()
+			if !ok {
+				return 0
+			}
+			return time.Since(info.LoadedAt).Seconds()
+		})
+	m.NewGaugeFunc("ssdserved_model_loaded_timestamp_seconds",
+		"Unix time the serving model was loaded.",
+		func() float64 {
+			_, info, ok := s.registry.Current()
+			if !ok {
+				return 0
+			}
+			return float64(info.LoadedAt.UnixNano()) / 1e9
+		})
+	m.NewGaugeFunc("ssdserved_uptime_seconds",
+		"Seconds since the daemon started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	return s, nil
+}
+
+// Store exposes the drive-state store (for warm-up loaders and tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Metrics exposes the metrics registry so callers can add their own
+// instruments before mounting the handler.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern, name string, h func(http.ResponseWriter, *http.Request)) {
+		mux.HandleFunc(pattern, s.instrument(name, h))
+	}
+	route("POST /v1/ingest", "ingest", s.handleIngest)
+	route("POST /v1/ingest/batch", "ingest_batch", s.handleIngestBatch)
+	route("GET /v1/watchlist", "watchlist", s.handleWatchlist)
+	route("GET /v1/drive/{id}", "drive", s.handleDrive)
+	route("GET /v1/model", "model", s.handleModel)
+	route("POST /v1/model/reload", "model_reload", s.handleModelReload)
+	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /metrics", "metrics", s.handleMetrics)
+	return mux
+}
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		begin := time.Now()
+		h(sw, r)
+		s.reqDur.Observe(time.Since(begin).Seconds())
+		s.reqs.With(name, strconv.Itoa(sw.code)).Inc()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// decodeJSON decodes a single JSON value from the (size-capped) body.
+// It distinguishes oversized bodies (413) from malformed ones (400) via
+// the returned status code.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", tooLarge.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("malformed JSON: %v", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return http.StatusBadRequest, errors.New("trailing data after JSON value")
+	}
+	return http.StatusOK, nil
+}
+
+// ingestOne validates and stores a single wire record, tagging the
+// rejection-reason counter on failure.
+func (s *Server) ingestOne(ir *IngestRecord) error {
+	model, rec, err := ir.ToRecord()
+	if err != nil {
+		s.ingestRejected.With("invalid_record").Inc()
+		return err
+	}
+	if err := s.store.Upsert(ir.DriveID, model, rec); err != nil {
+		s.ingestRejected.With("store_conflict").Inc()
+		return err
+	}
+	s.ingested.Inc()
+	return nil
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var ir IngestRecord
+	if code, err := s.decodeJSON(w, r, &ir); err != nil {
+		writeError(w, code, err.Error())
+		return
+	}
+	if err := s.ingestOne(&ir); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": 1})
+}
+
+// batchError reports one rejected record of a batch.
+type batchError struct {
+	Index   int    `json:"index"`
+	DriveID uint32 `json:"drive_id"`
+	Error   string `json:"error"`
+}
+
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	var batch []IngestRecord
+	if code, err := s.decodeJSON(w, r, &batch); err != nil {
+		writeError(w, code, err.Error())
+		return
+	}
+	accepted := 0
+	var rejected []batchError
+	for i := range batch {
+		if err := s.ingestOne(&batch[i]); err != nil {
+			if len(rejected) < 10 {
+				rejected = append(rejected, batchError{
+					Index: i, DriveID: batch[i].DriveID, Error: err.Error(),
+				})
+			}
+			continue
+		}
+		accepted++
+	}
+	code := http.StatusAccepted
+	if accepted == 0 && len(batch) > 0 {
+		code = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, code, map[string]any{
+		"accepted": accepted,
+		"rejected": len(batch) - accepted,
+		"errors":   rejected,
+	})
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", name, err)
+	}
+	return n, nil
+}
+
+func (s *Server) handleWatchlist(w http.ResponseWriter, r *http.Request) {
+	pred, info, ok := s.registry.Current()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	k, err := queryInt(r, "k", s.cfg.WatchlistK)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	since, err := queryInt(r, "since", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	threshold := s.cfg.WatchlistThreshold
+	if v := r.URL.Query().Get("threshold"); v != "" {
+		threshold, err = strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad threshold: %v", err))
+			return
+		}
+	}
+	begin := time.Now()
+	units := s.store.ScoreUnits(int32(since))
+	scored := s.scorer.Score(pred, units)
+	s.scoreDur.Observe(time.Since(begin).Seconds())
+	s.scoredDrives.Add(uint64(len(scored)))
+	ranked := Rank(scored, threshold, k)
+	type item struct {
+		DriveID uint32  `json:"drive_id"`
+		Model   string  `json:"model"`
+		Score   float64 `json:"score"`
+		Day     int32   `json:"day"`
+		Age     int32   `json:"age"`
+	}
+	items := make([]item, len(ranked))
+	for i, sc := range ranked {
+		items[i] = item{DriveID: sc.ID, Model: sc.Model.String(),
+			Score: sc.Score, Day: sc.Day, Age: sc.Age}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model_version": info.Version,
+		"lookahead":     info.Lookahead,
+		"threshold":     threshold,
+		"fleet_size":    len(units),
+		"count":         len(items),
+		"items":         items,
+	})
+}
+
+func (s *Server) handleDrive(w http.ResponseWriter, r *http.Request) {
+	id64, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad drive id: %v", err))
+		return
+	}
+	snap, ok := s.store.Get(uint32(id64))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown drive")
+		return
+	}
+	resp := map[string]any{
+		"drive_id": snap.ID,
+		"model":    snap.Model.String(),
+		"days":     len(snap.Recent),
+	}
+	n := len(snap.Recent)
+	if n > 0 {
+		resp["last"] = WireRecord(snap.ID, snap.Model, &snap.Recent[n-1])
+	}
+	if pred, info, ok := s.registry.Current(); ok && n > 0 {
+		var prev *trace.DayRecord
+		if n > 1 {
+			prev = &snap.Recent[n-2]
+		}
+		resp["score"] = pred.ScoreRecord(&snap.Recent[n-1], prev)
+		resp["model_version"] = info.Version
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	_, info, ok := s.registry.Current()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleModelReload(w http.ResponseWriter, r *http.Request) {
+	info, err := s.registry.Load()
+	if err != nil {
+		s.reloadFailures.Inc()
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.reloads.Inc()
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	_, info, ok := s.registry.Current()
+	resp := map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"drives":         s.store.Len(),
+		"model_loaded":   ok,
+	}
+	if ok {
+		resp["model_version"] = info.Version
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", MetricsContentType)
+	s.metrics.WriteTo(w) //nolint:errcheck // client gone; nothing to do
+}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A minimal Prometheus text-format (version 0.0.4) metrics registry on
+// the standard library: counters, gauges (incl. callback gauges),
+// histograms, and a labeled counter family. Instrument updates are
+// lock-free atomics; registration and scraping take the registry lock.
+
+// MetricsContentType is the Content-Type of the exposition format.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a cumulative histogram with fixed upper bounds.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; +Inf bucket is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DurationBuckets is the default latency bucket layout, in seconds.
+var DurationBuckets = []float64{
+	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is one registered family.
+type metric struct {
+	name, help, typ string
+	write           func(w io.Writer, name string)
+}
+
+// Metrics is the registry handed to the scrape endpoint.
+type Metrics struct {
+	mu      sync.Mutex
+	metrics []*metric
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+func (ms *Metrics) register(m *metric) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.metrics = append(ms.metrics, m)
+}
+
+// NewCounter registers and returns a counter.
+func (ms *Metrics) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	ms.register(&metric{name: name, help: help, typ: "counter",
+		write: func(w io.Writer, name string) {
+			fmt.Fprintf(w, "%s %d\n", name, c.Value())
+		}})
+	return c
+}
+
+// NewGauge registers and returns a settable gauge.
+func (ms *Metrics) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	ms.register(&metric{name: name, help: help, typ: "gauge",
+		write: func(w io.Writer, name string) {
+			fmt.Fprintf(w, "%s %v\n", name, g.Value())
+		}})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is computed at scrape time.
+func (ms *Metrics) NewGaugeFunc(name, help string, fn func() float64) {
+	ms.register(&metric{name: name, help: help, typ: "gauge",
+		write: func(w io.Writer, name string) {
+			fmt.Fprintf(w, "%s %v\n", name, fn())
+		}})
+}
+
+// NewHistogram registers and returns a histogram with the given upper
+// bounds (the +Inf bucket is implicit).
+func (ms *Metrics) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	ms.register(&metric{name: name, help: help, typ: "histogram",
+		write: func(w io.Writer, name string) {
+			var cum uint64
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+			fmt.Fprintf(w, "%s_sum %v\n", name, h.Sum())
+			fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+		}})
+	return h
+}
+
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}
+
+// CounterVec is a family of counters keyed by label values (e.g. HTTP
+// handler and status code). Series are created lazily on first use and
+// reported in creation order.
+type CounterVec struct {
+	labels []string
+	mu     sync.Mutex
+	series map[string]*Counter
+	order  []string
+}
+
+// NewCounterVec registers and returns a labeled counter family.
+func (ms *Metrics) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	cv := &CounterVec{labels: labels, series: make(map[string]*Counter)}
+	ms.register(&metric{name: name, help: help, typ: "counter",
+		write: func(w io.Writer, name string) {
+			cv.mu.Lock()
+			defer cv.mu.Unlock()
+			for _, key := range cv.order {
+				fmt.Fprintf(w, "%s%s %d\n", name, key, cv.series[key].Value())
+			}
+		}})
+	return cv
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. The number of values must match the declared label names.
+func (cv *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(cv.labels) {
+		panic("serve: label value count mismatch")
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range cv.labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, l, escapeLabel(values[i]))
+	}
+	sb.WriteByte('}')
+	key := sb.String()
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	c, ok := cv.series[key]
+	if !ok {
+		c = &Counter{}
+		cv.series[key] = c
+		cv.order = append(cv.order, key)
+	}
+	return c
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// WriteTo writes the exposition text for every registered family in
+// registration order.
+func (ms *Metrics) WriteTo(w io.Writer) (int64, error) {
+	ms.mu.Lock()
+	metrics := append([]*metric(nil), ms.metrics...)
+	ms.mu.Unlock()
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	for _, m := range metrics {
+		fmt.Fprintf(cw, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(cw, "# TYPE %s %s\n", m.name, m.typ)
+		m.write(cw, m.name)
+	}
+	err := cw.w.(*bufio.Writer).Flush()
+	return cw.n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssdfail/internal/core"
+	"ssdfail/internal/dataset"
+)
+
+// ModelInfo describes the currently served predictor.
+type ModelInfo struct {
+	Version      int       `json:"version"` // reload generation, 1 = startup load
+	Path         string    `json:"path"`
+	SHA256       string    `json:"sha256"`
+	SizeBytes    int       `json:"size_bytes"`
+	LoadedAt     time.Time `json:"loaded_at"`
+	ModelName    string    `json:"model_name"`
+	Lookahead    int       `json:"lookahead"`
+	FeatureWidth int       `json:"feature_width"`
+}
+
+type modelEntry struct {
+	pred *core.Predictor
+	info ModelInfo
+}
+
+// Registry holds the live predictor behind an atomic pointer. Scoring
+// paths grab the current entry once per request and keep using it even
+// if a reload swaps in a newer model mid-flight; Load is serialized so
+// concurrent reload requests cannot interleave version numbers.
+type Registry struct {
+	path string
+	mu   sync.Mutex // serializes Load
+	cur  atomic.Pointer[modelEntry]
+}
+
+// NewRegistry points a registry at a predictor file written by
+// core.Predictor.Save. Nothing is loaded until Load is called.
+func NewRegistry(path string) *Registry { return &Registry{path: path} }
+
+// Load reads, validates, and atomically publishes the predictor file.
+// On any error the previously published model keeps serving. The new
+// model must report a feature width matching the serving pipeline's
+// standard row layout — a width mismatch would panic at score time.
+func (r *Registry) Load() (ModelInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	data, err := os.ReadFile(r.path)
+	if err != nil {
+		return ModelInfo{}, fmt.Errorf("serve: reading model: %w", err)
+	}
+	pred, err := core.DecodePredictor(data)
+	if err != nil {
+		return ModelInfo{}, fmt.Errorf("serve: decoding model: %w", err)
+	}
+	if w := pred.FeatureWidth(); w != dataset.NumFeatures {
+		return ModelInfo{}, fmt.Errorf(
+			"serve: model expects feature width %d, serving pipeline produces %d",
+			w, dataset.NumFeatures)
+	}
+	sum := sha256.Sum256(data)
+	version := 1
+	if old := r.cur.Load(); old != nil {
+		version = old.info.Version + 1
+	}
+	info := ModelInfo{
+		Version:      version,
+		Path:         r.path,
+		SHA256:       hex.EncodeToString(sum[:]),
+		SizeBytes:    len(data),
+		LoadedAt:     time.Now(),
+		ModelName:    pred.ModelName(),
+		Lookahead:    pred.Lookahead,
+		FeatureWidth: pred.FeatureWidth(),
+	}
+	r.cur.Store(&modelEntry{pred: pred, info: info})
+	return info, nil
+}
+
+// Current returns the live predictor and its metadata, or ok=false when
+// no model has been loaded yet.
+func (r *Registry) Current() (*core.Predictor, ModelInfo, bool) {
+	e := r.cur.Load()
+	if e == nil {
+		return nil, ModelInfo{}, false
+	}
+	return e.pred, e.info, true
+}

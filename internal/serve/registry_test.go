@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/fleetsim"
+	"ssdfail/internal/ml/forest"
+)
+
+func TestRegistryLoadAndVersioning(t *testing.T) {
+	r := NewRegistry(fixModelPath)
+	if _, _, ok := r.Current(); ok {
+		t.Fatal("model present before Load")
+	}
+	info, err := r.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("startup version = %d, want 1", info.Version)
+	}
+	if info.ModelName != "Random Forest" || info.Lookahead != fixLookahead {
+		t.Fatalf("unexpected info %+v", info)
+	}
+	if info.SHA256 == "" || info.SizeBytes == 0 {
+		t.Fatalf("missing provenance in %+v", info)
+	}
+	pred, _, ok := r.Current()
+	if !ok || pred == nil {
+		t.Fatal("no model after Load")
+	}
+	info2, err := r.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Version != 2 {
+		t.Fatalf("reload version = %d, want 2", info2.Version)
+	}
+}
+
+func TestRegistryFailedLoadKeepsOldModel(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	valid, err := os.ReadFile(fixModelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(path)
+	if _, err := r.Load(); err != nil {
+		t.Fatal(err)
+	}
+	pred1, info1, _ := r.Current()
+
+	if err := os.WriteFile(path, []byte("corrupt garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load(); err == nil {
+		t.Fatal("corrupt model accepted")
+	}
+	pred2, info2, ok := r.Current()
+	if !ok || pred2 != pred1 || info2.Version != info1.Version {
+		t.Fatal("failed load disturbed the serving model")
+	}
+
+	// Trailing garbage after a valid payload must also be rejected.
+	if err := os.WriteFile(path, append(append([]byte(nil), valid...), 0xff), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load(); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestRegistryRejectsWidthMismatch(t *testing.T) {
+	// A forest trained at width 3 (not the serving pipeline's feature
+	// width) would panic when scoring standard rows; the registry must
+	// refuse it at load time.
+	narrow := &dataset.Matrix{Width: 3}
+	rng := fleetsim.NewRNG(1)
+	for i := 0; i < 100; i++ {
+		label := int8(i % 2)
+		for f := 0; f < 3; f++ {
+			narrow.X = append(narrow.X, rng.NormFloat64()+float64(label)*3)
+		}
+		narrow.Y = append(narrow.Y, label)
+		narrow.DriveIdx = append(narrow.DriveIdx, int32(i))
+		narrow.Day = append(narrow.Day, int32(i))
+		narrow.Age = append(narrow.Age, int32(i))
+	}
+	f := forest.New(forest.Config{Trees: 3, MaxDepth: 4, MinLeaf: 2, Seed: 1})
+	if err := f.Fit(narrow); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file []byte
+	file = append(file, "SSDP"...)
+	file = binary.LittleEndian.AppendUint32(file, 1) // lookahead
+	file = binary.LittleEndian.AppendUint32(file, uint32(len(payload)))
+	file = append(file, payload...)
+	path := filepath.Join(t.TempDir(), "narrow.bin")
+	if err := os.WriteFile(path, file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewRegistry(path).Load()
+	if err == nil || !strings.Contains(err.Error(), "feature width") {
+		t.Fatalf("width mismatch not rejected: %v", err)
+	}
+}

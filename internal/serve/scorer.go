@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	"ssdfail/internal/core"
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/parallel"
+	"ssdfail/internal/trace"
+)
+
+// Scored is one drive's score from a fleet scoring pass.
+type Scored struct {
+	ID    uint32      `json:"drive_id"`
+	Model trace.Model `json:"-"`
+	Score float64     `json:"score"`
+	Day   int32       `json:"day"`
+	Age   int32       `json:"age"`
+}
+
+// Scorer scores fleet snapshots across a fixed number of workers using
+// the repo's chunked parallel-for. Feature-row scratch matrices are
+// pooled so a full-fleet pass allocates per worker, not per drive.
+type Scorer struct {
+	workers int
+	scratch sync.Pool // *dataset.Matrix
+}
+
+// NewScorer builds a scorer with the given worker count (<= 0 means all
+// CPUs, resolved at score time by internal/parallel).
+func NewScorer(workers int) *Scorer {
+	return &Scorer{scratch: sync.Pool{New: func() any { return &dataset.Matrix{} }}, workers: workers}
+}
+
+// Workers returns the configured worker count (0 = all CPUs).
+func (sc *Scorer) Workers() int { return sc.workers }
+
+// Score scores every unit with the given predictor. Output slot i
+// corresponds to units[i], so results are deterministic at any worker
+// count.
+func (sc *Scorer) Score(p *core.Predictor, units []ScoreUnit) []Scored {
+	out := make([]Scored, len(units))
+	parallel.For(sc.workers, len(units), func(i int) {
+		u := &units[i]
+		m := sc.scratch.Get().(*dataset.Matrix)
+		var prev *trace.DayRecord
+		if u.HasPrev {
+			prev = &u.Prev
+		}
+		score := p.ScoreInto(m, &u.Last, prev)
+		sc.scratch.Put(m)
+		out[i] = Scored{ID: u.ID, Model: u.Model, Score: score, Day: u.Last.Day, Age: u.Last.Age}
+	})
+	return out
+}
+
+// Rank sorts scores descending (ties broken by drive ID for stable
+// output), drops entries below threshold, and truncates to the top k
+// (k <= 0 keeps all). It reorders items in place and returns the
+// ranked prefix.
+func Rank(items []Scored, threshold float64, k int) []Scored {
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Score != items[b].Score {
+			return items[a].Score > items[b].Score
+		}
+		return items[a].ID < items[b].ID
+	})
+	cut := len(items)
+	for cut > 0 && items[cut-1].Score < threshold {
+		cut--
+	}
+	items = items[:cut]
+	if k > 0 && len(items) > k {
+		items = items[:k]
+	}
+	return items
+}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ssdfail/internal/trace"
+)
+
+// Store defaults.
+const (
+	// DefaultShards spreads drive state over this many independently
+	// locked shards so concurrent ingest and fleet snapshots contend
+	// only per shard.
+	DefaultShards = 64
+	// DefaultHistory is how many recent daily reports each drive keeps.
+	// The standard feature pipeline needs the report being scored plus
+	// the previous one (for the bad-block delta); the extra slack keeps
+	// a rolling window available for trailing-window features and the
+	// drive-inspection endpoint.
+	DefaultHistory = 8
+)
+
+// Store is a sharded in-memory map of per-drive rolling state. All
+// methods are safe for concurrent use.
+type Store struct {
+	shards  []storeShard
+	mask    uint32
+	history int
+	drives  atomic.Int64
+	records atomic.Int64
+}
+
+type storeShard struct {
+	mu sync.RWMutex
+	m  map[uint32]*driveState
+}
+
+type driveState struct {
+	model  trace.Model
+	recent []trace.DayRecord // ascending by Day, at most history entries
+}
+
+// NewStore builds a store with the given shard count (rounded up to a
+// power of two; <= 0 means DefaultShards) and per-drive history depth
+// (<= 1 means DefaultHistory).
+func NewStore(shards, history int) *Store {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if history <= 1 {
+		history = DefaultHistory
+	}
+	s := &Store{shards: make([]storeShard, n), mask: uint32(n - 1), history: history}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint32]*driveState)
+	}
+	return s
+}
+
+// shard maps a drive ID to its shard with a multiplicative hash, so
+// sequentially assigned IDs still spread across shards.
+func (s *Store) shard(id uint32) *storeShard {
+	return &s.shards[(id*2654435761)&s.mask]
+}
+
+// Upsert appends one daily report to a drive's rolling state, creating
+// the drive on first sight. It enforces the per-drive invariants of
+// trace.Drive.Validate incrementally against the drive's latest
+// retained report: strictly increasing day, matching day/age deltas,
+// constant model and factory bad blocks, and monotone cumulative
+// counters. A violating report is rejected and the state unchanged.
+func (s *Store) Upsert(id uint32, model trace.Model, rec trace.DayRecord) error {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.m[id]
+	if !ok {
+		st = &driveState{model: model, recent: make([]trace.DayRecord, 0, 2)}
+		sh.m[id] = st
+		s.drives.Add(1)
+	} else {
+		if st.model != model {
+			return fmt.Errorf("serve: drive %d model changed from %s to %s", id, st.model, model)
+		}
+		if len(st.recent) > 0 {
+			last := &st.recent[len(st.recent)-1]
+			if rec.Day <= last.Day {
+				return fmt.Errorf("serve: drive %d day %d not after last ingested day %d", id, rec.Day, last.Day)
+			}
+			if rec.Day-last.Day != rec.Age-last.Age {
+				return fmt.Errorf("serve: drive %d day delta %d != age delta %d",
+					id, rec.Day-last.Day, rec.Age-last.Age)
+			}
+			if rec.FactoryBadBlocks != last.FactoryBadBlocks {
+				return fmt.Errorf("serve: drive %d factory bad blocks changed", id)
+			}
+			if rec.GrownBadBlocks < last.GrownBadBlocks {
+				return fmt.Errorf("serve: drive %d grown bad blocks decreased", id)
+			}
+			if rec.PECycles < last.PECycles {
+				return fmt.Errorf("serve: drive %d P/E cycles decreased", id)
+			}
+			if rec.CumReads < last.CumReads || rec.CumWrites < last.CumWrites || rec.CumErases < last.CumErases {
+				return fmt.Errorf("serve: drive %d cumulative op counter decreased", id)
+			}
+			for k := 0; k < trace.NumErrorKinds; k++ {
+				if rec.CumErrors[k] < last.CumErrors[k] {
+					return fmt.Errorf("serve: drive %d cumulative %s count decreased", id, trace.ErrorKind(k))
+				}
+			}
+		}
+	}
+	if len(st.recent) == s.history {
+		copy(st.recent, st.recent[1:])
+		st.recent[len(st.recent)-1] = rec
+	} else {
+		st.recent = append(st.recent, rec)
+		s.records.Add(1)
+	}
+	return nil
+}
+
+// DriveSnapshot is a copy of one drive's rolling state.
+type DriveSnapshot struct {
+	ID     uint32
+	Model  trace.Model
+	Recent []trace.DayRecord
+}
+
+// Get returns a copy of the drive's state.
+func (s *Store) Get(id uint32) (DriveSnapshot, bool) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.m[id]
+	if !ok {
+		return DriveSnapshot{}, false
+	}
+	return DriveSnapshot{
+		ID:     id,
+		Model:  st.model,
+		Recent: append([]trace.DayRecord(nil), st.recent...),
+	}, true
+}
+
+// Len returns the number of drives currently tracked.
+func (s *Store) Len() int { return int(s.drives.Load()) }
+
+// Records returns the number of daily reports currently retained.
+func (s *Store) Records() int { return int(s.records.Load()) }
+
+// ScoreUnit is the scoring input for one drive: its latest report plus
+// the previous one, copied out of the store so scoring never holds a
+// shard lock.
+type ScoreUnit struct {
+	ID         uint32
+	Model      trace.Model
+	Last, Prev trace.DayRecord
+	HasPrev    bool
+}
+
+// ScoreUnits snapshots the whole fleet for batch scoring. Drives whose
+// latest report is older than sinceDay are skipped (sinceDay <= 0 keeps
+// everything) — the paper's watchlist only considers drives still
+// reporting. Shards are drained one at a time under their read lock, so
+// ingest proceeds on other shards concurrently.
+func (s *Store) ScoreUnits(sinceDay int32) []ScoreUnit {
+	units := make([]ScoreUnit, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, st := range sh.m {
+			n := len(st.recent)
+			if n == 0 || st.recent[n-1].Day < sinceDay {
+				continue
+			}
+			u := ScoreUnit{ID: id, Model: st.model, Last: st.recent[n-1]}
+			if n > 1 {
+				u.Prev = st.recent[n-2]
+				u.HasPrev = true
+			}
+			units = append(units, u)
+		}
+		sh.mu.RUnlock()
+	}
+	return units
+}
