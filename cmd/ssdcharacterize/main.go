@@ -27,10 +27,11 @@ func main() {
 		horizon   = flag.Int("horizon", 2190, "horizon in days when simulating")
 		plots     = flag.Bool("plots", true, "render ASCII plots alongside tables")
 		workers   = flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+		skipBad   = flag.Bool("skip-bad-rows", false, "drop unparseable SMART CSV rows instead of failing the import")
 	)
 	flag.Parse()
 
-	ctx, err := buildContext(*tracePath, *smartPath, *seed, *drives, int32(*horizon), *workers)
+	ctx, err := buildContext(*tracePath, *smartPath, *seed, *drives, int32(*horizon), *workers, *skipBad)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssdcharacterize:", err)
 		os.Exit(1)
@@ -70,7 +71,7 @@ func main() {
 
 // buildContext loads, imports, or simulates the fleet and wraps it in
 // an experiment context.
-func buildContext(tracePath, smartPath string, seed uint64, drives int, horizon int32, workers int) (*experiments.Context, error) {
+func buildContext(tracePath, smartPath string, seed uint64, drives int, horizon int32, workers int, skipBad bool) (*experiments.Context, error) {
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = seed
 	cfg.DrivesPerModel = drives
@@ -83,10 +84,15 @@ func buildContext(tracePath, smartPath string, seed uint64, drives int, horizon 
 			return nil, err
 		}
 		defer f.Close()
-		fleet, err := smartio.ReadCSV(f, smartio.Options{})
+		fleet, sum, err := smartio.ReadCSVSummary(f, smartio.Options{SkipBadRows: skipBad})
 		if err != nil {
 			return nil, err
 		}
+		fmt.Fprintf(os.Stderr, "import: %d rows, %d drives", sum.Rows, sum.Drives)
+		if sum.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, ", %d bad rows skipped (first: %v)", sum.Skipped, sum.First[0])
+		}
+		fmt.Fprintln(os.Stderr)
 		return experiments.NewContextFromFleet(cfg, fleet)
 	case tracePath != "":
 		f, err := os.Open(tracePath)

@@ -6,21 +6,25 @@
 //
 // Usage:
 //
-//	ssdserved -model pred.bin [-addr :8377] [-bootstrap]
+//	ssdserved -model pred.bin [-addr :8377] [-bootstrap] [-wal-dir DIR]
 //
 // With -bootstrap, a missing model file is trained on a simulated fleet
 // and saved to -model first, so the daemon can be tried end to end
 // without any prior artifacts:
 //
-//	ssdserved -model /tmp/pred.bin -bootstrap
+//	ssdserved -model /tmp/pred.bin -bootstrap -wal-dir /tmp/ssdserved-wal
 //	curl -s localhost:8377/healthz
 //	curl -s -X POST localhost:8377/v1/ingest/batch -d @day.json
 //	curl -s 'localhost:8377/v1/watchlist?k=10&threshold=0.5'
 //	curl -s -X POST localhost:8377/v1/model/reload
+//	curl -s -X POST localhost:8377/v1/snapshot
 //	curl -s localhost:8377/metrics
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// With -wal-dir set, accepted records are written to a write-ahead log
+// and periodic snapshots; on restart the daemon replays them, so fleet
+// state survives crashes. The daemon shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests and flushing the WAL
+// before exiting.
 package main
 
 import (
@@ -40,7 +44,17 @@ import (
 	"ssdfail/internal/serve"
 )
 
+// main is only an exit-code adapter: all work happens in run, so its
+// deferred cleanup (WAL flush, listener close) runs even on failure
+// paths — log.Fatalf would skip it.
 func main() {
+	if err := run(); err != nil {
+		log.Printf("ssdserved: %v", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		addr      = flag.String("addr", ":8377", "listen address")
 		modelPath = flag.String("model", "ssdserved-model.bin", "predictor file (core.Predictor.Save format)")
@@ -56,12 +70,24 @@ func main() {
 		k         = flag.Int("k", 50, "default watchlist length")
 		maxBody   = flag.Int64("max-body", 8<<20, "maximum ingest request body in bytes")
 		drainFor  = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+
+		walDir        = flag.String("wal-dir", "", "write-ahead-log directory; empty disables durability")
+		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size (0 = 8 MiB)")
+		walSyncEvery  = flag.Int("wal-sync-every", 0, "fsync the WAL every N accepted records (0 = 64, -1 = only on rotation/close)")
+		snapshotEvery = flag.Int("snapshot-every", 0, "write a store snapshot every N accepted records (0 = 4096, -1 disables)")
+
+		maxIngest   = flag.Int("max-inflight-ingest", 0, "concurrent ingest requests before shedding with 429 (0 = 256)")
+		maxScores   = flag.Int("max-inflight-scores", 0, "concurrent watchlist scoring passes before shedding with 429 (0 = 4)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline (0 = 30s, negative disables)")
+		modelTries  = flag.Int("model-retries", 5, "startup model-load attempts (exponential backoff between them)")
+		readTimeout = flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout (full request)")
+		idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "HTTP server keep-alive idle timeout")
 	)
 	flag.Parse()
 
 	if *bootstrap {
 		if err := bootstrapModel(*modelPath, *seed, *drives, *lookahead, *trees, *workers); err != nil {
-			log.Fatalf("ssdserved: bootstrap: %v", err)
+			return fmt.Errorf("bootstrap: %v", err)
 		}
 	}
 
@@ -73,15 +99,44 @@ func main() {
 		MaxBodyBytes:       *maxBody,
 		WatchlistThreshold: *threshold,
 		WatchlistK:         *k,
+		WALDir:             *walDir,
+		WALSegmentBytes:    *walSegBytes,
+		WALSyncEvery:       *walSyncEvery,
+		SnapshotEvery:      *snapshotEvery,
+		MaxInflightIngest:  *maxIngest,
+		MaxInflightScores:  *maxScores,
+		RequestTimeout:     *reqTimeout,
+		ModelLoadAttempts:  *modelTries,
 	})
 	if err != nil {
-		log.Fatalf("ssdserved: %v", err)
+		return err
+	}
+	// Flush and close the WAL on every exit path, after the HTTP server
+	// has stopped accepting work.
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			log.Printf("ssdserved: closing durability layer: %v", cerr)
+		}
+	}()
+	if rec, ok := srv.Recovery(); ok {
+		log.Printf("ssdserved: recovered durable state from %s: snapshot lsn %d (%d drives), %d WAL records replayed, %d covered, %d duplicates, %d truncations (%d bytes), %d segments dropped",
+			*walDir, rec.SnapshotLSN, rec.SnapshotDrives, rec.Replayed,
+			rec.SkippedCovered, rec.Duplicates, rec.Truncations,
+			rec.TruncatedBytes, rec.SegmentsDropped)
+		if rec.SnapshotCorrupt {
+			log.Printf("ssdserved: WARNING: snapshot was corrupt; state rebuilt from the WAL alone")
+		}
 	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
+		ReadTimeout:       *readTimeout,
 		ReadHeaderTimeout: 10 * time.Second,
+		// Watchlist responses for large fleets take a while to build;
+		// give writes the read budget plus slack.
+		WriteTimeout: *readTimeout + 30*time.Second,
+		IdleTimeout:  *idleTimeout,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -92,7 +147,7 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatalf("ssdserved: %v", err)
+		return err
 	case <-ctx.Done():
 	}
 	log.Printf("ssdserved: signal received, draining for up to %v", *drainFor)
@@ -103,6 +158,7 @@ func main() {
 		httpSrv.Close()
 	}
 	log.Printf("ssdserved: bye")
+	return nil
 }
 
 // bootstrapModel trains a predictor on a simulated fleet and saves it,

@@ -55,12 +55,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fleet, err := smartio.ReadCSV(f, smartio.Options{})
+	// SkipBadRows tolerates the mangled lines real exports contain; the
+	// summary reports what was dropped so silent corruption can't hide.
+	fleet, sum, err := smartio.ReadCSVSummary(f, smartio.Options{SkipBadRows: true})
 	f.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("imported %d drives, %d drive-days\n", len(fleet.Drives), fleet.DriveDays())
+	fmt.Printf("imported %d drives, %d drive-days (%d rows", len(fleet.Drives), fleet.DriveDays(), sum.Rows)
+	if sum.Skipped > 0 {
+		fmt.Printf(", %d bad rows skipped — first: %v", sum.Skipped, sum.First[0])
+	}
+	fmt.Println(")")
 
 	an := failure.Analyze(fleet)
 	for i := range an.Events {

@@ -1,0 +1,143 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestMemFSBasics(t *testing.T) {
+	fs := Mem()
+	if err := fs.MkdirAll("/d/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenFile("/d/sub/a.log", os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"hello ", "world"} {
+		if _, err := f.Write([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	fi, err := fs.Stat("/d/sub/a.log")
+	if err != nil || fi.Size() != 11 {
+		t.Fatalf("stat: %v size %d", err, fi.Size())
+	}
+	r, err := fs.OpenFile("/d/sub/a.log", os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	r.Close()
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("read %q err %v", data, err)
+	}
+
+	if err := fs.Truncate("/d/sub/a.log", 5); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := fs.Stat("/d/sub/a.log"); fi.Size() != 5 {
+		t.Fatalf("size after truncate = %d", fi.Size())
+	}
+	if err := fs.Rename("/d/sub/a.log", "/d/sub/b.log"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir("/d/sub")
+	if err != nil || len(entries) != 1 || entries[0].Name() != "b.log" {
+		t.Fatalf("readdir: %v err %v", entries, err)
+	}
+	if err := fs.Remove("/d/sub/b.log"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.OpenFile("/d/sub/b.log", os.O_RDONLY, 0); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("open removed: %v", err)
+	}
+	if _, err := fs.ReadDir("/nope"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("readdir missing dir: %v", err)
+	}
+}
+
+func TestInjectorFailNthAndShortWrite(t *testing.T) {
+	in := New(Mem())
+	in.Add(Fault{Op: OpWrite, N: 2, Mode: ModeFail})
+	in.Add(Fault{Op: OpWrite, N: 3, Mode: ModeShortWrite, Bytes: 2})
+	f, err := in.OpenFile("/x", os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("bbbb")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: %v, want injected", err)
+	}
+	n, err := f.Write([]byte("cccc"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 3: n=%d err=%v, want short write of 2", n, err)
+	}
+	if _, err := f.Write([]byte("dddd")); err != nil {
+		t.Fatalf("write 4: %v", err)
+	}
+	f.Close()
+	if fi, _ := in.Stat("/x"); fi.Size() != 10 { // aaaa + cc + dddd
+		t.Fatalf("size = %d, want 10", fi.Size())
+	}
+	if got := in.Count(OpWrite); got != 4 {
+		t.Fatalf("write count = %d, want 4", got)
+	}
+}
+
+func TestInjectorCrashStopsEverything(t *testing.T) {
+	in := New(Mem())
+	in.Crash(2, 1)
+	f, err := in.OpenFile("/x", os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("zz"))
+	if n != 1 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write: n=%d err=%v", n, err)
+	}
+	if !in.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if _, err := f.Write([]byte("more")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if _, err := in.OpenFile("/y", os.O_WRONLY|os.O_CREATE, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open: %v", err)
+	}
+	if _, err := in.ReadDir("/"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash readdir: %v", err)
+	}
+}
+
+func TestInjectorDelay(t *testing.T) {
+	in := New(Mem())
+	in.Add(Fault{Op: OpSync, N: 1, Mode: ModeDelay, Delay: 20 * time.Millisecond})
+	f, err := in.OpenFile("/x", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("sync returned after %v, want >= 20ms", d)
+	}
+}

@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"ssdfail/internal/faultfs"
+	"ssdfail/internal/trace"
+)
+
+// The crash-recovery suite drives the journal through a deterministic
+// ~1000-record fleet workload and kills the filesystem at every write
+// operation in turn (torn partial write, then every later op fails).
+// After each kill the journal is reopened on the surviving bytes and
+// must recover exactly the accepted prefix: no accepted record lost,
+// no rejected record resurrected, no corruption panic.
+
+const (
+	crashDrives  = 50
+	crashDays    = 20
+	crashHistory = 4
+)
+
+// crashStep is one ingest attempt of the workload, in order.
+type crashStep struct {
+	id    uint32
+	model trace.Model
+	rec   trace.DayRecord
+	valid bool
+}
+
+// crashRec builds the valid daily report for one drive-day with all the
+// store's monotonicity invariants satisfied.
+func crashRec(drive, day int) trace.DayRecord {
+	rec := trace.DayRecord{
+		Day: int32(day), Age: int32(day),
+		Reads: uint64(100 + drive), Writes: uint64(50 + day), Erases: uint64(day),
+		CumReads:  uint64(day*1000 + drive),
+		CumWrites: uint64(day*500 + drive),
+		CumErases: uint64(day*100 + drive),
+		PECycles:  float64(day) * 1.5,
+
+		FactoryBadBlocks: uint32(drive % 7),
+		GrownBadBlocks:   uint32(day / 3),
+	}
+	for k := 0; k < trace.NumErrorKinds; k++ {
+		rec.Errors[k] = uint32((drive + day + k) % 3)
+		rec.CumErrors[k] = uint64(day*10 + drive + k)
+	}
+	return rec
+}
+
+// crashWorkload returns the full ingest sequence: day-major over the
+// fleet, with an invalid attempt (day regression, poisoned counters)
+// interleaved before some valid records. Invalid attempts must be
+// rejected at validation and must never appear after recovery.
+func crashWorkload() []crashStep {
+	steps := make([]crashStep, 0, crashDrives*crashDays+crashDrives*crashDays/13+1)
+	for day := 0; day < crashDays; day++ {
+		for drive := 0; drive < crashDrives; drive++ {
+			id := uint32(1000 + drive)
+			model := trace.Model(drive % trace.NumModels)
+			if day > 0 && (drive+day)%13 == 0 {
+				bad := crashRec(drive, day-1) // day regression
+				bad.Reads = 0xDEAD
+				steps = append(steps, crashStep{id: id, model: model, rec: bad})
+			}
+			steps = append(steps, crashStep{id: id, model: model, rec: crashRec(drive, day), valid: true})
+		}
+	}
+	return steps
+}
+
+func crashJournalOptions(fs faultfs.FS) JournalOptions {
+	return JournalOptions{
+		Dir:          "/wal",
+		FS:           fs,
+		SegmentBytes: 8192, // ~39 frames per segment: rotation is exercised
+		SyncEvery:    1,
+		// A prime cadence staggers snapshots (and the prunes they
+		// trigger) across segment boundaries; synchronous so every kill
+		// point is deterministic.
+		SnapshotEvery: 137,
+	}
+}
+
+// runUntilCrash feeds steps into j until the WAL fails, returning the
+// per-drive accepted records and the index of the first unprocessed
+// step (len(steps) when the whole workload fit before the kill).
+func runUntilCrash(t *testing.T, j *Journal, steps []crashStep, accepted map[uint32][]trace.DayRecord) int {
+	t.Helper()
+	for i, st := range steps {
+		err := j.Upsert(st.id, st.model, st.rec)
+		if err == nil {
+			if !st.valid {
+				t.Fatalf("invalid record (drive %d day %d) was accepted", st.id, st.rec.Day)
+			}
+			accepted[st.id] = append(accepted[st.id], st.rec)
+			continue
+		}
+		if errors.Is(err, ErrJournal) {
+			if !st.valid {
+				t.Fatalf("invalid record (drive %d day %d) reached the WAL: %v", st.id, st.rec.Day, err)
+			}
+			return i
+		}
+		if st.valid {
+			t.Fatalf("valid record (drive %d day %d) rejected: %v", st.id, st.rec.Day, err)
+		}
+	}
+	return len(steps)
+}
+
+// checkRecovered asserts the recovered store holds exactly the accepted
+// records (trimmed to the history cap) and nothing else.
+func checkRecovered(t *testing.T, store *Store, steps []crashStep, accepted map[uint32][]trace.DayRecord) {
+	t.Helper()
+	if got, want := store.Len(), len(accepted); got != want {
+		t.Fatalf("recovered %d drives, want %d", got, want)
+	}
+	models := make(map[uint32]trace.Model)
+	for _, st := range steps {
+		models[st.id] = st.model
+	}
+	for id, recs := range accepted {
+		snap, ok := store.Get(id)
+		if !ok {
+			t.Fatalf("drive %d lost in recovery (%d accepted records)", id, len(recs))
+		}
+		if snap.Model != models[id] {
+			t.Fatalf("drive %d recovered model %v, want %v", id, snap.Model, models[id])
+		}
+		want := recs
+		if len(want) > crashHistory {
+			want = want[len(want)-crashHistory:]
+		}
+		if !reflect.DeepEqual(snap.Recent, want) {
+			t.Fatalf("drive %d recovered records diverge:\n got %+v\nwant %+v", id, snap.Recent, want)
+		}
+	}
+}
+
+// countWriteOps dry-runs the workload to learn how many filesystem
+// write operations it performs, i.e. how many kill points exist.
+func countWriteOps(t *testing.T, steps []crashStep) int {
+	t.Helper()
+	inj := faultfs.New(faultfs.Mem())
+	j, err := OpenJournal(NewStore(4, crashHistory), crashJournalOptions(inj))
+	if err != nil {
+		t.Fatalf("dry run open: %v", err)
+	}
+	accepted := make(map[uint32][]trace.DayRecord)
+	if stop := runUntilCrash(t, j, steps, accepted); stop != len(steps) {
+		t.Fatalf("dry run crashed at step %d with no faults armed", stop)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("dry run close: %v", err)
+	}
+	return inj.Count(faultfs.OpWrite)
+}
+
+// TestCrashRecoveryEveryKillPoint is the crash-consistency property
+// test: for every write operation the workload performs, crash there
+// (a torn partial write, then total failure), recover, and verify the
+// accepted prefix survived intact. Periodically it also resumes the
+// workload on the recovered journal and re-verifies the final state,
+// proving a recovered log accepts writes and stays consistent.
+func TestCrashRecoveryEveryKillPoint(t *testing.T) {
+	steps := crashWorkload()
+	writes := countWriteOps(t, steps)
+	if writes < len(steps)/2 {
+		t.Fatalf("dry run saw only %d write ops for %d steps", writes, len(steps))
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 17
+	}
+	frame := 8 + walRecordBinarySize
+	for k := 1; k <= writes; k += stride {
+		partial := k % frame // torn frame of every possible length
+		base := faultfs.Mem()
+		inj := faultfs.New(base)
+		inj.Crash(k, partial)
+
+		j, err := OpenJournal(NewStore(4, crashHistory), crashJournalOptions(inj))
+		if err != nil {
+			t.Fatalf("kill %d: open: %v", k, err)
+		}
+		accepted := make(map[uint32][]trace.DayRecord)
+		stop := runUntilCrash(t, j, steps, accepted)
+		j.Close() //nolint:errcheck // the filesystem is dead
+
+		// Recover on the surviving bytes (the raw FS, not the dead
+		// injector) into a fresh store.
+		store2 := NewStore(4, crashHistory)
+		j2, err := OpenJournal(store2, crashJournalOptions(base))
+		if err != nil {
+			t.Fatalf("kill %d (write op, partial %d): recovery failed: %v", k, partial, err)
+		}
+		rec := j2.Recovery()
+		if rec.Malformed != 0 {
+			t.Fatalf("kill %d: %d malformed WAL records on recovery", k, rec.Malformed)
+		}
+		if rec.Duplicates != 0 {
+			t.Fatalf("kill %d: %d duplicate WAL records on recovery", k, rec.Duplicates)
+		}
+		checkRecovered(t, store2, steps, accepted)
+
+		// Every so often, prove the recovered journal still works:
+		// finish the workload on it and verify the complete fleet.
+		if k%101 == 0 && stop < len(steps) {
+			if n := runUntilCrash(t, j2, steps[stop:], accepted); n != len(steps[stop:]) {
+				t.Fatalf("kill %d: resumed ingest crashed at step %d", k, stop+n)
+			}
+			if err := j2.Close(); err != nil {
+				t.Fatalf("kill %d: closing resumed journal: %v", k, err)
+			}
+			store3 := NewStore(4, crashHistory)
+			if _, err := OpenJournal(store3, crashJournalOptions(base)); err != nil {
+				t.Fatalf("kill %d: reopening after resume: %v", k, err)
+			}
+			checkRecovered(t, store3, steps, accepted)
+		} else if err := j2.Close(); err != nil {
+			t.Fatalf("kill %d: closing recovered journal: %v", k, err)
+		}
+	}
+}
+
+// TestCrashRecoveryAfterCleanShutdown checks the no-fault path: a
+// cleanly closed journal recovers byte-for-byte with zero truncations.
+func TestCrashRecoveryAfterCleanShutdown(t *testing.T) {
+	steps := crashWorkload()
+	base := faultfs.Mem()
+	j, err := OpenJournal(NewStore(4, crashHistory), crashJournalOptions(base))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	accepted := make(map[uint32][]trace.DayRecord)
+	if stop := runUntilCrash(t, j, steps, accepted); stop != len(steps) {
+		t.Fatalf("workload crashed at step %d with no faults armed", stop)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	store2 := NewStore(4, crashHistory)
+	j2, err := OpenJournal(store2, crashJournalOptions(base))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	rec := j2.Recovery()
+	if rec.Truncations != 0 || rec.SegmentsDropped != 0 || rec.Malformed != 0 {
+		t.Fatalf("clean shutdown recovery reported damage: %+v", rec)
+	}
+	if rec.SnapshotLSN == 0 {
+		t.Fatalf("no snapshot found after %d records with SnapshotEvery=137", len(steps))
+	}
+	checkRecovered(t, store2, steps, accepted)
+}
+
+// TestCrashJournalErrorLeavesStoreConsistent pins the ordering
+// guarantee the handlers rely on: when the WAL append fails, the store
+// is unchanged and the same record can be retried after recovery
+// without tripping the duplicate-day validation.
+func TestCrashJournalErrorLeavesStoreConsistent(t *testing.T) {
+	base := faultfs.Mem()
+	inj := faultfs.New(base)
+	opt := crashJournalOptions(inj)
+	store := NewStore(4, crashHistory)
+	j, err := OpenJournal(store, opt)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := j.Upsert(1, 0, crashRec(1, 0)); err != nil {
+		t.Fatalf("first upsert: %v", err)
+	}
+	inj.Add(faultfs.Fault{Op: faultfs.OpWrite, N: inj.Count(faultfs.OpWrite) + 1, Mode: faultfs.ModeFail})
+	if err := j.Upsert(1, 0, crashRec(1, 1)); !errors.Is(err, ErrJournal) {
+		t.Fatalf("upsert with failing WAL returned %v, want ErrJournal", err)
+	}
+	snap, _ := store.Get(1)
+	if len(snap.Recent) != 1 || snap.Recent[0].Day != 0 {
+		t.Fatalf("failed journal append mutated the store: %+v", snap.Recent)
+	}
+	j.Close() //nolint:errcheck // poisoned log
+
+	// Reopen and retry the same record: it must be accepted.
+	store2 := NewStore(4, crashHistory)
+	j2, err := OpenJournal(store2, crashJournalOptions(base))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer j2.Close()
+	if err := j2.Upsert(1, 0, crashRec(1, 1)); err != nil {
+		t.Fatalf("retrying record after recovery: %v", err)
+	}
+	snap2, _ := store2.Get(1)
+	if len(snap2.Recent) != 2 {
+		t.Fatalf("recovered drive has %d records, want 2", len(snap2.Recent))
+	}
+}
+
+// BenchmarkIngestInMemory and BenchmarkIngestWAL compare the ingest hot
+// path without and with durability at the default fsync policy (one
+// fsync per 64 appends) on the real filesystem. The acceptance bar for
+// the durability layer is staying within 2x of in-memory ingest.
+func BenchmarkIngestInMemory(b *testing.B) {
+	store := NewStore(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drive := i % 256
+		rec := crashRec(drive, i/256)
+		if err := store.Upsert(uint32(drive), trace.Model(drive%trace.NumModels), rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIngestWAL(b *testing.B) {
+	j, err := OpenJournal(NewStore(0, 0), JournalOptions{
+		Dir:           b.TempDir(),
+		SnapshotEvery: -1, // isolate the WAL append cost
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drive := i % 256
+		rec := crashRec(drive, i/256)
+		if err := j.Upsert(uint32(drive), trace.Model(drive%trace.NumModels), rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := j.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(j.WALStats().Fsyncs)/float64(b.N), "fsyncs/op")
+}

@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ssdfail/internal/faultfs"
+	"ssdfail/internal/trace"
+	"ssdfail/internal/wal"
+)
+
+// ErrJournal marks an upsert that passed validation but could not be
+// made durable (WAL append or fsync failed). Handlers map it to 503:
+// the record was not applied and the client should retry against a
+// recovered daemon.
+var ErrJournal = errors.New("serve: journal write failed")
+
+// JournalOptions configures the durability layer.
+type JournalOptions struct {
+	// Dir holds WAL segments and snapshots.
+	Dir string
+	// FS is the filesystem (nil = real). Tests inject faults here.
+	FS faultfs.FS
+	// SegmentBytes and SyncEvery configure the WAL (0 = wal defaults;
+	// SyncEvery wal.SyncNever disables policy fsyncs).
+	SegmentBytes int64
+	SyncEvery    int
+	// SnapshotEvery writes a store snapshot (and prunes covered WAL
+	// segments) every this many accepted records. 0 means the default
+	// 4096; negative disables automatic snapshots.
+	SnapshotEvery int
+	// AsyncSnapshots runs automatic snapshots on a background goroutine
+	// (single-flight). Synchronous snapshots keep tests deterministic.
+	AsyncSnapshots bool
+}
+
+// DefaultSnapshotEvery is the automatic snapshot cadence in accepted
+// records.
+const DefaultSnapshotEvery = 4096
+
+// RecoveryInfo reports what OpenJournal reconstructed at boot.
+type RecoveryInfo struct {
+	// SnapshotLSN is the WAL position the loaded snapshot covers (0 =
+	// no snapshot).
+	SnapshotLSN uint64
+	// SnapshotDrives is how many drives the snapshot restored.
+	SnapshotDrives int
+	// SnapshotCorrupt is set when a snapshot existed but failed
+	// validation; recovery continued from the WAL alone.
+	SnapshotCorrupt bool
+	// Replayed counts WAL records applied to the store.
+	Replayed uint64
+	// SkippedCovered counts WAL records skipped because the snapshot
+	// already covered their LSN.
+	SkippedCovered uint64
+	// Duplicates counts replayed records the store rejected as already
+	// present — the benign overlap between a snapshot raced against
+	// concurrent ingest and the WAL tail.
+	Duplicates uint64
+	// Malformed counts frames whose payload failed to decode despite an
+	// intact checksum (version skew); they are dropped.
+	Malformed uint64
+	// Truncations and TruncatedBytes surface recovery truncation of
+	// torn or corrupt WAL tails.
+	Truncations    int
+	TruncatedBytes int64
+	// SegmentsDropped counts whole WAL segments discarded during
+	// recovery.
+	SegmentsDropped int
+}
+
+// Journal pairs a Store with a write-ahead log and snapshots so the
+// fleet state survives crashes. The ingest path validates a record
+// under the shard lock, appends it to the WAL, and only then applies
+// it, so WAL order matches apply order and an unlogged record is never
+// visible.
+type Journal struct {
+	store *Store
+	log   *wal.Log
+	opt   JournalOptions
+	rec   RecoveryInfo
+
+	sinceSnap    atomic.Int64
+	snapshotting atomic.Bool
+	wg           sync.WaitGroup
+
+	snapshotFailures atomic.Uint64
+	pruned           atomic.Uint64
+
+	bufs sync.Pool // *[]byte scratch for payload encoding
+}
+
+// OpenJournal recovers fleet state from opt.Dir into store (snapshot
+// first, then the WAL tail, truncating at the first torn or corrupt
+// frame) and returns a journal ready for ingest. The store should be
+// empty; records already present are treated like snapshot contents.
+func OpenJournal(store *Store, opt JournalOptions) (*Journal, error) {
+	if opt.SnapshotEvery == 0 {
+		opt.SnapshotEvery = DefaultSnapshotEvery
+	}
+	j := &Journal{store: store, opt: opt}
+	j.bufs.New = func() any { b := make([]byte, 0, walRecordBinarySize); return &b }
+	walOpt := wal.Options{
+		Dir:          opt.Dir,
+		FS:           opt.FS,
+		SegmentBytes: opt.SegmentBytes,
+		SyncEvery:    opt.SyncEvery,
+	}
+
+	payload, snapLSN, found, err := wal.LoadSnapshot(walOpt)
+	if err != nil {
+		if !errors.Is(err, wal.ErrSnapshotCorrupt) {
+			return nil, err
+		}
+		// A corrupt snapshot is survivable telemetry loss, not a boot
+		// failure: fall back to replaying whatever the WAL still holds.
+		j.rec.SnapshotCorrupt = true
+		snapLSN = 0
+	} else if found {
+		drives, derr := decodeStoreSnapshot(payload)
+		if derr != nil {
+			j.rec.SnapshotCorrupt = true
+			snapLSN = 0
+		} else {
+			for i := range drives {
+				store.Restore(drives[i])
+			}
+			j.rec.SnapshotLSN = snapLSN
+			j.rec.SnapshotDrives = len(drives)
+		}
+	}
+
+	log, wstats, err := wal.Open(walOpt, func(lsn uint64, frame []byte) {
+		if lsn <= snapLSN {
+			j.rec.SkippedCovered++
+			return
+		}
+		id, model, rec, derr := decodeWALRecordBinary(frame)
+		if derr != nil {
+			j.rec.Malformed++
+			return
+		}
+		if uerr := store.Upsert(id, model, rec); uerr != nil {
+			j.rec.Duplicates++
+		} else {
+			j.rec.Replayed++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	j.log = log
+	j.rec.Truncations = wstats.Truncations
+	j.rec.TruncatedBytes = wstats.TruncatedBytes
+	j.rec.SegmentsDropped = wstats.SegmentsDropped
+	return j, nil
+}
+
+// Recovery returns what boot-time recovery reconstructed.
+func (j *Journal) Recovery() RecoveryInfo { return j.rec }
+
+// Store returns the journaled store.
+func (j *Journal) Store() *Store { return j.store }
+
+// WALStats returns the underlying log's operation counts.
+func (j *Journal) WALStats() wal.Stats { return j.log.Stats() }
+
+// SnapshotFailures counts snapshots that could not be written.
+func (j *Journal) SnapshotFailures() uint64 { return j.snapshotFailures.Load() }
+
+// PrunedSegments counts WAL segments removed after snapshots.
+func (j *Journal) PrunedSegments() uint64 { return j.pruned.Load() }
+
+// LastLSN returns the most recently appended WAL position.
+func (j *Journal) LastLSN() uint64 { return j.log.LastLSN() }
+
+// Upsert validates, journals, and applies one daily report. Validation
+// failures return the store's error with nothing logged; a WAL failure
+// returns an error wrapping ErrJournal with the store unchanged.
+func (j *Journal) Upsert(id uint32, model trace.Model, rec trace.DayRecord) error {
+	bufp := j.bufs.Get().(*[]byte)
+	payload := appendWALRecordBinary((*bufp)[:0], id, model, &rec)
+	err := j.store.UpsertCommit(id, model, rec, func() error {
+		if _, werr := j.log.Append(payload); werr != nil {
+			return fmt.Errorf("%w: %w", ErrJournal, werr)
+		}
+		return nil
+	})
+	*bufp = payload[:0]
+	j.bufs.Put(bufp)
+	if err != nil {
+		return err
+	}
+	if j.opt.SnapshotEvery > 0 && j.sinceSnap.Add(1) >= int64(j.opt.SnapshotEvery) {
+		j.maybeSnapshot()
+	}
+	return nil
+}
+
+// maybeSnapshot starts one snapshot, skipping if one is in flight.
+func (j *Journal) maybeSnapshot() {
+	if !j.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	run := func() {
+		defer j.snapshotting.Store(false)
+		if err := j.Snapshot(); err != nil {
+			j.snapshotFailures.Add(1)
+		}
+	}
+	if j.opt.AsyncSnapshots {
+		j.wg.Add(1)
+		go func() { defer j.wg.Done(); run() }()
+	} else {
+		run()
+	}
+}
+
+// Snapshot writes a point-in-time snapshot of the store and prunes WAL
+// segments it fully covers. Safe to call concurrently with ingest: the
+// recorded LSN is read before the store copy, so every record the copy
+// might miss is replayed from the WAL on recovery.
+func (j *Journal) Snapshot() error {
+	lsn := j.log.LastLSN()
+	drives := j.store.Drives()
+	payload := encodeStoreSnapshot(drives)
+	if err := j.log.WriteSnapshot(lsn, payload); err != nil {
+		return err
+	}
+	j.sinceSnap.Store(0)
+	if n, err := j.log.Prune(lsn + 1); err == nil {
+		j.pruned.Add(uint64(n))
+	}
+	return nil
+}
+
+// Sync flushes the WAL to stable storage.
+func (j *Journal) Sync() error { return j.log.Sync() }
+
+// Close waits for an in-flight snapshot, then syncs and closes the WAL.
+func (j *Journal) Close() error {
+	j.wg.Wait()
+	return j.log.Close()
+}
+
+// Store snapshot payload: version u32, drive count u32, then per drive
+// the ID, model, retained-record count (u8), and fixed-width records.
+const storeSnapshotVersion = 1
+
+func encodeStoreSnapshot(drives []DriveSnapshot) []byte {
+	size := 8
+	for i := range drives {
+		n := len(drives[i].Recent)
+		if n > 255 {
+			n = 255
+		}
+		size += 6 + n*dayRecordBinarySize
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, storeSnapshotVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(drives)))
+	for i := range drives {
+		d := &drives[i]
+		recent := d.Recent
+		if len(recent) > 255 {
+			recent = recent[len(recent)-255:]
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, d.ID)
+		buf = append(buf, byte(d.Model), byte(len(recent)))
+		for r := range recent {
+			buf = appendDayRecordBinary(buf, &recent[r])
+		}
+	}
+	return buf
+}
+
+func decodeStoreSnapshot(b []byte) ([]DriveSnapshot, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("serve: snapshot header truncated")
+	}
+	if v := binary.LittleEndian.Uint32(b); v != storeSnapshotVersion {
+		return nil, fmt.Errorf("serve: unsupported snapshot version %d", v)
+	}
+	n := binary.LittleEndian.Uint32(b[4:])
+	b = b[8:]
+	// Cap the preallocation so a hostile count cannot balloon memory.
+	alloc := int(n)
+	if alloc > 1<<16 {
+		alloc = 1 << 16
+	}
+	drives := make([]DriveSnapshot, 0, alloc)
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 6 {
+			return nil, fmt.Errorf("serve: snapshot drive %d header truncated", i)
+		}
+		d := DriveSnapshot{ID: binary.LittleEndian.Uint32(b), Model: trace.Model(b[4])}
+		if int(d.Model) >= trace.NumModels {
+			return nil, fmt.Errorf("serve: snapshot drive %d has unknown model %d", i, b[4])
+		}
+		nrec := int(b[5])
+		b = b[6:]
+		d.Recent = make([]trace.DayRecord, nrec)
+		for r := 0; r < nrec; r++ {
+			var err error
+			d.Recent[r], b, err = decodeDayRecordBinary(b)
+			if err != nil {
+				return nil, fmt.Errorf("serve: snapshot drive %d: %w", i, err)
+			}
+		}
+		drives = append(drives, d)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("serve: %d trailing bytes after snapshot", len(b))
+	}
+	return drives, nil
+}

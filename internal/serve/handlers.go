@@ -1,14 +1,17 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
 
+	"ssdfail/internal/faultfs"
 	"ssdfail/internal/trace"
 )
 
@@ -32,19 +35,65 @@ type Config struct {
 	WatchlistThreshold float64
 	// WatchlistK is the default maximum watchlist length (0 means 50).
 	WatchlistK int
+
+	// WALDir enables the durability layer: accepted ingest records are
+	// written to a write-ahead log there, periodic snapshots bound
+	// replay time, and boot recovers snapshot+tail. Empty disables
+	// durability (in-memory only, as before).
+	WALDir string
+	// WALSegmentBytes, WALSyncEvery, and SnapshotEvery tune the
+	// journal; zero values use the wal/journal defaults.
+	WALSegmentBytes int64
+	WALSyncEvery    int
+	SnapshotEvery   int
+	// WALFS overrides the journal's filesystem (fault-injection tests).
+	WALFS faultfs.FS
+	// SyncSnapshots makes automatic snapshots run inline on the ingest
+	// path instead of a background goroutine (deterministic tests).
+	SyncSnapshots bool
+
+	// MaxInflightIngest bounds concurrently served ingest requests;
+	// excess requests are shed with 429 + Retry-After instead of piling
+	// onto a WAL or store that has fallen behind. 0 means 256.
+	MaxInflightIngest int
+	// MaxInflightScores bounds concurrent full-fleet scoring passes
+	// (the watchlist endpoint); excess requests are shed with 429.
+	// 0 means 4.
+	MaxInflightScores int
+	// RequestTimeout is the per-request deadline; handlers abort work
+	// and answer 503 once it expires. 0 means 30s; negative disables.
+	RequestTimeout time.Duration
+
+	// ModelLoadAttempts retries the startup model load with exponential
+	// backoff plus jitter — bootstrap environments often race the
+	// trainer writing the model file. 0 or 1 means a single attempt.
+	ModelLoadAttempts int
+	// ModelRetryBase and ModelRetryMax bound the backoff schedule
+	// (defaults 200ms and 5s).
+	ModelRetryBase time.Duration
+	ModelRetryMax  time.Duration
 }
 
-const defaultMaxBody = 8 << 20
+const (
+	defaultMaxBody        = 8 << 20
+	defaultInflightIngest = 256
+	defaultInflightScores = 4
+	defaultRequestTimeout = 30 * time.Second
+)
 
 // Server wires the store, registry, scorer, and metrics into an HTTP
 // handler. Create with New, mount via Handler.
 type Server struct {
 	cfg      Config
 	store    *Store
+	journal  *Journal // nil when WALDir is empty
 	registry *Registry
 	scorer   *Scorer
 	metrics  *Metrics
 	start    time.Time
+
+	ingestSem chan struct{}
+	scoreSem  chan struct{}
 
 	reqs           *CounterVec
 	reqDur         *Histogram
@@ -54,9 +103,13 @@ type Server struct {
 	scoreDur       *Histogram
 	reloads        *Counter
 	reloadFailures *Counter
+	sheds          *CounterVec
+	snapshotReqs   *Counter
 }
 
-// New builds a server and loads the model from cfg.ModelPath. The
+// New builds a server, loads the model from cfg.ModelPath (with
+// backoff retries when configured), and — when cfg.WALDir is set —
+// recovers durable fleet state from the snapshot and WAL tail. The
 // daemon refuses to start without a servable model; later reload
 // failures keep the last good model serving.
 func New(cfg Config) (*Server, error) {
@@ -69,16 +122,41 @@ func New(cfg Config) (*Server, error) {
 	if cfg.WatchlistK == 0 {
 		cfg.WatchlistK = 50
 	}
-	s := &Server{
-		cfg:      cfg,
-		store:    NewStore(cfg.Shards, cfg.History),
-		registry: NewRegistry(cfg.ModelPath),
-		scorer:   NewScorer(cfg.Workers),
-		metrics:  NewMetrics(),
-		start:    time.Now(),
+	if cfg.MaxInflightIngest <= 0 {
+		cfg.MaxInflightIngest = defaultInflightIngest
 	}
-	if _, err := s.registry.Load(); err != nil {
+	if cfg.MaxInflightScores <= 0 {
+		cfg.MaxInflightScores = defaultInflightScores
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = defaultRequestTimeout
+	}
+	s := &Server{
+		cfg:       cfg,
+		store:     NewStore(cfg.Shards, cfg.History),
+		registry:  NewRegistry(cfg.ModelPath),
+		scorer:    NewScorer(cfg.Workers),
+		metrics:   NewMetrics(),
+		start:     time.Now(),
+		ingestSem: make(chan struct{}, cfg.MaxInflightIngest),
+		scoreSem:  make(chan struct{}, cfg.MaxInflightScores),
+	}
+	if err := s.loadModelWithRetry(); err != nil {
 		return nil, err
+	}
+	if cfg.WALDir != "" {
+		j, err := OpenJournal(s.store, JournalOptions{
+			Dir:            cfg.WALDir,
+			FS:             cfg.WALFS,
+			SegmentBytes:   cfg.WALSegmentBytes,
+			SyncEvery:      cfg.WALSyncEvery,
+			SnapshotEvery:  cfg.SnapshotEvery,
+			AsyncSnapshots: !cfg.SyncSnapshots,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: recovering durable state: %w", err)
+		}
+		s.journal = j
 	}
 	m := s.metrics
 	s.reqs = m.NewCounterVec("ssdserved_http_requests_total",
@@ -97,7 +175,45 @@ func New(cfg Config) (*Server, error) {
 		"Successful model (re)loads, including the startup load.")
 	s.reloadFailures = m.NewCounter("ssdserved_model_reload_failures_total",
 		"Model reloads that failed and kept the previous model.")
+	s.sheds = m.NewCounterVec("ssdserved_load_shed_total",
+		"Requests shed with 429 because the handler's concurrency bound was full.",
+		"handler")
 	s.reloads.Inc() // the startup load above
+	if j := s.journal; j != nil {
+		s.snapshotReqs = m.NewCounter("ssdserved_snapshot_requests_total",
+			"Snapshots requested via POST /v1/snapshot.")
+		m.NewCounterFunc("ssdserved_wal_appends_total",
+			"Records appended to the write-ahead log.",
+			func() uint64 { return j.WALStats().Appends })
+		m.NewCounterFunc("ssdserved_wal_fsyncs_total",
+			"WAL fsyncs issued by the sync policy, rotations, and Sync calls.",
+			func() uint64 { return j.WALStats().Fsyncs })
+		m.NewCounterFunc("ssdserved_wal_rotations_total",
+			"WAL segment rotations.",
+			func() uint64 { return j.WALStats().Rotations })
+		m.NewCounterFunc("ssdserved_wal_snapshots_total",
+			"Store snapshots written.",
+			func() uint64 { return j.WALStats().Snapshots })
+		m.NewCounterFunc("ssdserved_wal_snapshot_failures_total",
+			"Store snapshots that failed to write.",
+			func() uint64 { return j.SnapshotFailures() })
+		m.NewCounterFunc("ssdserved_wal_pruned_segments_total",
+			"WAL segments removed because a snapshot covered them.",
+			func() uint64 { return j.PrunedSegments() })
+		rec := j.Recovery()
+		m.NewCounterFunc("ssdserved_wal_recovery_truncations_total",
+			"Torn or corrupt WAL tails truncated during boot recovery.",
+			func() uint64 { return uint64(rec.Truncations) })
+		m.NewCounterFunc("ssdserved_wal_replayed_records_total",
+			"WAL records replayed into the store during boot recovery.",
+			func() uint64 { return rec.Replayed })
+		m.NewCounterFunc("ssdserved_wal_replay_duplicates_total",
+			"Replayed WAL records already present via the snapshot.",
+			func() uint64 { return rec.Duplicates })
+		m.NewGaugeFunc("ssdserved_wal_last_lsn",
+			"Most recently appended WAL log sequence number.",
+			func() float64 { return float64(j.LastLSN()) })
+	}
 	m.NewGaugeFunc("ssdserved_fleet_drives",
 		"Drives currently tracked in the state store.",
 		func() float64 { return float64(s.store.Len()) })
@@ -137,8 +253,63 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// loadModelWithRetry loads the startup model, retrying transient
+// failures with exponential backoff plus jitter so a bootstrap daemon
+// can win its race against the trainer still writing the model file.
+func (s *Server) loadModelWithRetry() error {
+	attempts := s.cfg.ModelLoadAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	base := s.cfg.ModelRetryBase
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	maxDelay := s.cfg.ModelRetryMax
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+	var err error
+	delay := base
+	for attempt := 1; ; attempt++ {
+		if _, err = s.registry.Load(); err == nil {
+			return nil
+		}
+		if attempt >= attempts {
+			return err
+		}
+		// Full jitter on top of the exponential step spreads retries
+		// from daemons restarted in lockstep.
+		sleep := delay + rand.N(delay/2+1)
+		time.Sleep(sleep)
+		delay *= 2
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
 // Store exposes the drive-state store (for warm-up loaders and tests).
 func (s *Server) Store() *Store { return s.store }
+
+// Recovery reports what boot-time durability recovery reconstructed;
+// ok is false when the daemon runs without a WAL.
+func (s *Server) Recovery() (RecoveryInfo, bool) {
+	if s.journal == nil {
+		return RecoveryInfo{}, false
+	}
+	return s.journal.Recovery(), true
+}
+
+// Close flushes and closes the durability layer. Call after the HTTP
+// server has drained so in-flight accepted records reach stable
+// storage.
+func (s *Server) Close() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Close()
+}
 
 // Metrics exposes the metrics registry so callers can add their own
 // instruments before mounting the handler.
@@ -156,6 +327,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/drive/{id}", "drive", s.handleDrive)
 	route("GET /v1/model", "model", s.handleModel)
 	route("POST /v1/model/reload", "model_reload", s.handleModelReload)
+	route("POST /v1/snapshot", "snapshot", s.handleSnapshot)
 	route("GET /healthz", "healthz", s.handleHealthz)
 	route("GET /metrics", "metrics", s.handleMetrics)
 	return mux
@@ -174,11 +346,32 @@ func (w *statusWriter) WriteHeader(code int) {
 
 func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		begin := time.Now()
 		h(sw, r)
 		s.reqDur.Observe(time.Since(begin).Seconds())
 		s.reqs.With(name, strconv.Itoa(sw.code)).Inc()
+	}
+}
+
+// acquire takes a slot from a concurrency bound without blocking. When
+// the bound is full — the WAL, store, or scorer has fallen behind — the
+// request is shed with 429 and a Retry-After hint instead of queueing
+// more work onto the backlog.
+func (s *Server) acquire(w http.ResponseWriter, handler string, sem chan struct{}) bool {
+	select {
+	case sem <- struct{}{}:
+		return true
+	default:
+		s.sheds.With(handler).Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "overloaded, retry later")
+		return false
 	}
 }
 
@@ -214,16 +407,27 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) (int,
 	return http.StatusOK, nil
 }
 
-// ingestOne validates and stores a single wire record, tagging the
-// rejection-reason counter on failure.
+// ingestOne validates and stores a single wire record — journaled when
+// durability is enabled — tagging the rejection-reason counter on
+// failure. An error wrapping ErrJournal means the record passed
+// validation but could not be made durable; callers map it to 503.
 func (s *Server) ingestOne(ir *IngestRecord) error {
 	model, rec, err := ir.ToRecord()
 	if err != nil {
 		s.ingestRejected.With("invalid_record").Inc()
 		return err
 	}
-	if err := s.store.Upsert(ir.DriveID, model, rec); err != nil {
-		s.ingestRejected.With("store_conflict").Inc()
+	if s.journal != nil {
+		err = s.journal.Upsert(ir.DriveID, model, rec)
+	} else {
+		err = s.store.Upsert(ir.DriveID, model, rec)
+	}
+	if err != nil {
+		if errors.Is(err, ErrJournal) {
+			s.ingestRejected.With("wal_error").Inc()
+		} else {
+			s.ingestRejected.With("store_conflict").Inc()
+		}
 		return err
 	}
 	s.ingested.Inc()
@@ -231,13 +435,21 @@ func (s *Server) ingestOne(ir *IngestRecord) error {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.acquire(w, "ingest", s.ingestSem) {
+		return
+	}
+	defer func() { <-s.ingestSem }()
 	var ir IngestRecord
 	if code, err := s.decodeJSON(w, r, &ir); err != nil {
 		writeError(w, code, err.Error())
 		return
 	}
 	if err := s.ingestOne(&ir); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrJournal) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": 1})
@@ -251,15 +463,45 @@ type batchError struct {
 }
 
 func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.acquire(w, "ingest_batch", s.ingestSem) {
+		return
+	}
+	defer func() { <-s.ingestSem }()
 	var batch []IngestRecord
 	if code, err := s.decodeJSON(w, r, &batch); err != nil {
 		writeError(w, code, err.Error())
 		return
 	}
+	ctx := r.Context()
 	accepted := 0
 	var rejected []batchError
 	for i := range batch {
+		// A large batch can outlive the request deadline; stop cleanly
+		// with an exact accepted count rather than churn for a client
+		// that already gave up. Records already applied stay applied.
+		if i&127 == 0 && ctx.Err() != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":    "request deadline exceeded mid-batch",
+				"accepted": accepted,
+				"rejected": len(rejected),
+				"dropped":  len(batch) - i,
+				"errors":   rejected,
+			})
+			return
+		}
 		if err := s.ingestOne(&batch[i]); err != nil {
+			if errors.Is(err, ErrJournal) {
+				// The WAL is failing; every further append would too.
+				// Report what was durably accepted and stop.
+				writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+					"error":    err.Error(),
+					"accepted": accepted,
+					"rejected": len(rejected),
+					"dropped":  len(batch) - i,
+					"errors":   rejected,
+				})
+				return
+			}
 			if len(rejected) < 10 {
 				rejected = append(rejected, batchError{
 					Index: i, DriveID: batch[i].DriveID, Error: err.Error(),
@@ -299,6 +541,12 @@ func (s *Server) handleWatchlist(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "no model loaded")
 		return
 	}
+	// A full-fleet scoring pass walks every shard; bounding concurrent
+	// passes keeps a scrape storm from starving ingest.
+	if !s.acquire(w, "watchlist", s.scoreSem) {
+		return
+	}
+	defer func() { <-s.scoreSem }()
 	k, err := queryInt(r, "k", s.cfg.WatchlistK)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -322,6 +570,10 @@ func (s *Server) handleWatchlist(w http.ResponseWriter, r *http.Request) {
 	scored := s.scorer.Score(pred, units)
 	s.scoreDur.Observe(time.Since(begin).Seconds())
 	s.scoredDrives.Add(uint64(len(scored)))
+	if r.Context().Err() != nil {
+		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded during scoring")
+		return
+	}
 	ranked := Rank(scored, threshold, k)
 	type item struct {
 		DriveID uint32  `json:"drive_id"`
@@ -396,6 +648,24 @@ func (s *Server) handleModelReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// handleSnapshot forces a store snapshot (and prunes covered WAL
+// segments) on demand, e.g. before planned maintenance.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeError(w, http.StatusConflict, "durability disabled: daemon runs without a WAL")
+		return
+	}
+	s.snapshotReqs.Inc()
+	if err := s.journal.Snapshot(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshot_lsn": s.journal.LastLSN(),
+		"drives":       s.store.Len(),
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_, info, ok := s.registry.Current()
 	resp := map[string]any{
@@ -403,9 +673,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"drives":         s.store.Len(),
 		"model_loaded":   ok,
+		"wal":            s.journal != nil,
 	}
 	if ok {
 		resp["model_version"] = info.Version
+	}
+	if s.journal != nil {
+		resp["wal_last_lsn"] = s.journal.LastLSN()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

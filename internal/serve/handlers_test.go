@@ -467,3 +467,51 @@ func grepLines(s, substr string) string {
 	}
 	return strings.Join(out, "\n")
 }
+
+// TestLoadShedding fills a handler's concurrency bound and checks the
+// excess request is shed with 429 + Retry-After instead of queueing.
+func TestLoadShedding(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.MaxInflightIngest = 1
+		c.MaxInflightScores = 1
+	})
+	s.ingestSem <- struct{}{} // occupy the only ingest slot
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", fleetDay(0)[0])
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429: %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want 1", ra)
+	}
+	<-s.ingestSem
+	// Slot free again: the same request now succeeds.
+	if resp, body := postJSON(t, ts.URL+"/v1/ingest", fleetDay(0)[0]); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("after release status = %d: %s", resp.StatusCode, body)
+	}
+
+	s.scoreSem <- struct{}{}
+	resp, err := http.Get(ts.URL + "/v1/watchlist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("watchlist status = %d, want 429", resp.StatusCode)
+	}
+	<-s.scoreSem
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`ssdserved_load_shed_total{handler="ingest"} 1`,
+		`ssdserved_load_shed_total{handler="watchlist"} 1`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, grepLines(string(metrics), "shed"))
+		}
+	}
+}

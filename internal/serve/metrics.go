@@ -110,6 +110,15 @@ func (ms *Metrics) NewCounter(name, help string) *Counter {
 	return c
 }
 
+// NewCounterFunc registers a counter whose value is read at scrape
+// time, for monotone counts maintained elsewhere (e.g. WAL fsyncs).
+func (ms *Metrics) NewCounterFunc(name, help string, fn func() uint64) {
+	ms.register(&metric{name: name, help: help, typ: "counter",
+		write: func(w io.Writer, name string) {
+			fmt.Fprintf(w, "%s %d\n", name, fn())
+		}})
+}
+
 // NewGauge registers and returns a settable gauge.
 func (ms *Metrics) NewGauge(name, help string) *Gauge {
 	g := &Gauge{}

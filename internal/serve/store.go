@@ -76,15 +76,22 @@ func (s *Store) shard(id uint32) *storeShard {
 // constant model and factory bad blocks, and monotone cumulative
 // counters. A violating report is rejected and the state unchanged.
 func (s *Store) Upsert(id uint32, model trace.Model, rec trace.DayRecord) error {
+	return s.UpsertCommit(id, model, rec, nil)
+}
+
+// UpsertCommit is Upsert with a commit hook: after the record passes
+// validation but before it mutates any state, commit (when non-nil) is
+// invoked while the shard lock is still held. A commit error aborts the
+// upsert with the store unchanged. The durability layer journals the
+// record in the hook, so the write-ahead log's append order matches the
+// store's apply order per drive and a record is never applied without
+// first being logged.
+func (s *Store) UpsertCommit(id uint32, model trace.Model, rec trace.DayRecord, commit func() error) error {
 	sh := s.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	st, ok := sh.m[id]
-	if !ok {
-		st = &driveState{model: model, recent: make([]trace.DayRecord, 0, 2)}
-		sh.m[id] = st
-		s.drives.Add(1)
-	} else {
+	if ok {
 		if st.model != model {
 			return fmt.Errorf("serve: drive %d model changed from %s to %s", id, st.model, model)
 		}
@@ -115,6 +122,16 @@ func (s *Store) Upsert(id uint32, model trace.Model, rec trace.DayRecord) error 
 				}
 			}
 		}
+	}
+	if commit != nil {
+		if err := commit(); err != nil {
+			return err
+		}
+	}
+	if !ok {
+		st = &driveState{model: model, recent: make([]trace.DayRecord, 0, 2)}
+		sh.m[id] = st
+		s.drives.Add(1)
 	}
 	if len(st.recent) == s.history {
 		copy(st.recent, st.recent[1:])
@@ -147,6 +164,53 @@ func (s *Store) Get(id uint32) (DriveSnapshot, bool) {
 		Model:  st.model,
 		Recent: append([]trace.DayRecord(nil), st.recent...),
 	}, true
+}
+
+// Drives copies the full rolling state of every tracked drive, ordered
+// by shard then map order. Shards are drained one at a time under their
+// read lock, so ingest proceeds on other shards concurrently; the copy
+// is the unit the durability layer snapshots.
+func (s *Store) Drives() []DriveSnapshot {
+	out := make([]DriveSnapshot, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, st := range sh.m {
+			out = append(out, DriveSnapshot{
+				ID:     id,
+				Model:  st.model,
+				Recent: append([]trace.DayRecord(nil), st.recent...),
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Restore installs one drive's rolling state wholesale, replacing any
+// existing state for that drive and trimming to the history cap. It is
+// the recovery-time inverse of Drives and performs no invariant
+// validation: the snapshot was validated when its records were first
+// ingested.
+func (s *Store) Restore(d DriveSnapshot) {
+	recent := d.Recent
+	if len(recent) > s.history {
+		recent = recent[len(recent)-s.history:]
+	}
+	sh := s.shard(d.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.m[d.ID]
+	if !ok {
+		st = &driveState{}
+		sh.m[d.ID] = st
+		s.drives.Add(1)
+	} else {
+		s.records.Add(-int64(len(st.recent)))
+	}
+	st.model = d.Model
+	st.recent = append([]trace.DayRecord(nil), recent...)
+	s.records.Add(int64(len(st.recent)))
 }
 
 // Len returns the number of drives currently tracked.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -88,6 +89,99 @@ func (ir *IngestRecord) ToRecord() (trace.Model, trace.DayRecord, error) {
 		}
 	}
 	return model, rec, nil
+}
+
+// Binary record codec for the WAL and snapshots. One day record is a
+// fixed-width little-endian block (day/age, op counters, P/E cycles,
+// bad blocks, error arrays, flags); a WAL payload prefixes it with the
+// drive ID and model. The fixed width keeps replay allocation-free and
+// makes torn frames detectable by length alone.
+
+const (
+	dayRecordBinarySize = 4 + 4 + 6*8 + 8 + 4 + 4 + trace.NumErrorKinds*4 + trace.NumErrorKinds*8 + 1
+	walRecordBinarySize = 4 + 1 + dayRecordBinarySize
+)
+
+// appendDayRecordBinary appends the fixed-width encoding of rec.
+func appendDayRecordBinary(buf []byte, rec *trace.DayRecord) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Day))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Age))
+	for _, v := range [6]uint64{rec.Reads, rec.Writes, rec.Erases, rec.CumReads, rec.CumWrites, rec.CumErases} {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.PECycles))
+	buf = binary.LittleEndian.AppendUint32(buf, rec.FactoryBadBlocks)
+	buf = binary.LittleEndian.AppendUint32(buf, rec.GrownBadBlocks)
+	for k := 0; k < trace.NumErrorKinds; k++ {
+		buf = binary.LittleEndian.AppendUint32(buf, rec.Errors[k])
+	}
+	for k := 0; k < trace.NumErrorKinds; k++ {
+		buf = binary.LittleEndian.AppendUint64(buf, rec.CumErrors[k])
+	}
+	var flags byte
+	if rec.Dead {
+		flags |= 1
+	}
+	if rec.ReadOnly {
+		flags |= 2
+	}
+	return append(buf, flags)
+}
+
+// decodeDayRecordBinary decodes one fixed-width record from the front
+// of b, returning the remainder.
+func decodeDayRecordBinary(b []byte) (trace.DayRecord, []byte, error) {
+	var rec trace.DayRecord
+	if len(b) < dayRecordBinarySize {
+		return rec, b, fmt.Errorf("serve: day record truncated: %d of %d bytes", len(b), dayRecordBinarySize)
+	}
+	rec.Day = int32(binary.LittleEndian.Uint32(b[0:]))
+	rec.Age = int32(binary.LittleEndian.Uint32(b[4:]))
+	rec.Reads = binary.LittleEndian.Uint64(b[8:])
+	rec.Writes = binary.LittleEndian.Uint64(b[16:])
+	rec.Erases = binary.LittleEndian.Uint64(b[24:])
+	rec.CumReads = binary.LittleEndian.Uint64(b[32:])
+	rec.CumWrites = binary.LittleEndian.Uint64(b[40:])
+	rec.CumErases = binary.LittleEndian.Uint64(b[48:])
+	rec.PECycles = math.Float64frombits(binary.LittleEndian.Uint64(b[56:]))
+	rec.FactoryBadBlocks = binary.LittleEndian.Uint32(b[64:])
+	rec.GrownBadBlocks = binary.LittleEndian.Uint32(b[68:])
+	off := 72
+	for k := 0; k < trace.NumErrorKinds; k++ {
+		rec.Errors[k] = binary.LittleEndian.Uint32(b[off:])
+		off += 4
+	}
+	for k := 0; k < trace.NumErrorKinds; k++ {
+		rec.CumErrors[k] = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+	}
+	flags := b[off]
+	rec.Dead = flags&1 != 0
+	rec.ReadOnly = flags&2 != 0
+	return rec, b[off+1:], nil
+}
+
+// appendWALRecordBinary appends the WAL payload for one accepted
+// ingest: drive ID, model, day record.
+func appendWALRecordBinary(buf []byte, id uint32, model trace.Model, rec *trace.DayRecord) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, id)
+	buf = append(buf, byte(model))
+	return appendDayRecordBinary(buf, rec)
+}
+
+// decodeWALRecordBinary decodes a payload written by
+// appendWALRecordBinary.
+func decodeWALRecordBinary(b []byte) (uint32, trace.Model, trace.DayRecord, error) {
+	if len(b) != walRecordBinarySize {
+		return 0, 0, trace.DayRecord{}, fmt.Errorf("serve: WAL record is %d bytes, want %d", len(b), walRecordBinarySize)
+	}
+	id := binary.LittleEndian.Uint32(b)
+	model := trace.Model(b[4])
+	if int(model) >= trace.NumModels {
+		return 0, 0, trace.DayRecord{}, fmt.Errorf("serve: WAL record has unknown model %d", b[4])
+	}
+	rec, _, err := decodeDayRecordBinary(b[5:])
+	return id, model, rec, err
 }
 
 // WireRecord converts an internal record back to the wire form, used by

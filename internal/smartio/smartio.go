@@ -72,6 +72,57 @@ type Options struct {
 	// WritesPerPECycle converts cumulative written LBAs into P/E cycles
 	// when no wear-leveling attribute is present; <= 0 uses 2.2e8.
 	WritesPerPECycle float64
+	// SkipBadRows drops unparseable data rows instead of failing the
+	// import. Dropped rows are counted in the Summary; real exports
+	// routinely contain a handful of mangled lines.
+	SkipBadRows bool
+}
+
+// maxBadRowDetail bounds how many rejected rows are itemized in a
+// ParseError or Summary; the total is always counted.
+const maxBadRowDetail = 8
+
+// RowError locates one rejected CSV data row.
+type RowError struct {
+	Line   int    // 1-based line number in the input (header is line 1)
+	Reason string // why the row was rejected
+}
+
+func (e RowError) String() string {
+	return fmt.Sprintf("line %d: %s", e.Line, e.Reason)
+}
+
+// ParseError reports every rejected data row in one pass, rather than
+// failing on the first: the caller sees how broken the file is and
+// where, instead of fixing rows one import at a time.
+type ParseError struct {
+	BadRows int        // total rejected rows
+	First   []RowError // the first maxBadRowDetail of them
+}
+
+func (e *ParseError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "smartio: %d bad row(s):", e.BadRows)
+	for i, r := range e.First {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteByte(' ')
+		b.WriteString(r.String())
+	}
+	if e.BadRows > len(e.First) {
+		fmt.Fprintf(&b, "; and %d more", e.BadRows-len(e.First))
+	}
+	return b.String()
+}
+
+// Summary describes what an import consumed and, in SkipBadRows mode,
+// what it dropped.
+type Summary struct {
+	Rows    int        // data rows imported
+	Drives  int        // distinct serial numbers seen
+	Skipped int        // bad rows dropped (always 0 unless SkipBadRows)
+	First   []RowError // the first maxBadRowDetail dropped rows
 }
 
 // hashModel deterministically buckets a model string.
@@ -105,8 +156,18 @@ const (
 	numFields
 )
 
-// ReadCSV parses a SMART daily-snapshot CSV into a Fleet.
+// ReadCSV parses a SMART daily-snapshot CSV into a Fleet. Malformed
+// data rows fail the import with a *ParseError listing them, unless
+// Options.SkipBadRows is set; use ReadCSVSummary to also observe what
+// was imported and dropped.
 func ReadCSV(r io.Reader, o Options) (*trace.Fleet, error) {
+	fleet, _, err := ReadCSVSummary(r, o)
+	return fleet, err
+}
+
+// ReadCSVSummary is ReadCSV plus an import Summary. The Summary is
+// valid whenever the returned fleet is.
+func ReadCSVSummary(r io.Reader, o Options) (*trace.Fleet, Summary, error) {
 	if o.Attrs == (AttributeMap{}) {
 		o.Attrs = DefaultAttributeMap()
 	}
@@ -120,7 +181,7 @@ func ReadCSV(r io.Reader, o Options) (*trace.Fleet, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if !sc.Scan() {
-		return nil, fmt.Errorf("smartio: empty input")
+		return nil, Summary{}, fmt.Errorf("smartio: empty input")
 	}
 	header := strings.Split(sc.Text(), ",")
 	col := map[string]int{}
@@ -129,7 +190,7 @@ func ReadCSV(r io.Reader, o Options) (*trace.Fleet, error) {
 	}
 	for _, req := range []string{"date", "serial_number", "model", "failure"} {
 		if _, ok := col[req]; !ok {
-			return nil, fmt.Errorf("smartio: missing required column %q", req)
+			return nil, Summary{}, fmt.Errorf("smartio: missing required column %q", req)
 		}
 	}
 	attrCols := [numFields]int{}
@@ -155,6 +216,15 @@ func ReadCSV(r io.Reader, o Options) (*trace.Fleet, error) {
 	}
 	drives := map[string]*driveAcc{}
 	var minDate, maxDate int64
+	var sum Summary
+	var bad []RowError
+	badRows := 0
+	reject := func(lineNo int, reason string) {
+		badRows++
+		if len(bad) < maxBadRowDetail {
+			bad = append(bad, RowError{Line: lineNo, Reason: reason})
+		}
+	}
 	first := true
 	lineNo := 1
 	for sc.Scan() {
@@ -173,7 +243,13 @@ func ReadCSV(r io.Reader, o Options) (*trace.Fleet, error) {
 		}
 		t, err := time.Parse("2006-01-02", get("date"))
 		if err != nil {
-			return nil, fmt.Errorf("smartio: line %d: bad date: %v", lineNo, err)
+			reject(lineNo, fmt.Sprintf("bad date %q", get("date")))
+			continue
+		}
+		serial := get("serial_number")
+		if serial == "" {
+			reject(lineNo, "empty serial")
+			continue
 		}
 		epochDay := t.Unix() / 86400
 		if first || epochDay < minDate {
@@ -183,11 +259,8 @@ func ReadCSV(r io.Reader, o Options) (*trace.Fleet, error) {
 			maxDate = epochDay
 		}
 		first = false
+		sum.Rows++
 
-		serial := get("serial_number")
-		if serial == "" {
-			return nil, fmt.Errorf("smartio: line %d: empty serial", lineNo)
-		}
 		acc := drives[serial]
 		if acc == nil {
 			acc = &driveAcc{model: get("model")}
@@ -214,11 +287,17 @@ func ReadCSV(r io.Reader, o Options) (*trace.Fleet, error) {
 		acc.rows = append(acc.rows, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, Summary{}, err
 	}
+	if badRows > 0 && !o.SkipBadRows {
+		return nil, Summary{}, &ParseError{BadRows: badRows, First: bad}
+	}
+	sum.Skipped = badRows
+	sum.First = bad
 	if first {
-		return nil, fmt.Errorf("smartio: no data rows")
+		return nil, Summary{}, fmt.Errorf("smartio: no data rows")
 	}
+	sum.Drives = len(drives)
 
 	fleet := &trace.Fleet{Horizon: int32(maxDate-minDate) + 2}
 	serials := make([]string, 0, len(drives))
@@ -232,9 +311,9 @@ func ReadCSV(r io.Reader, o Options) (*trace.Fleet, error) {
 		fleet.Drives = append(fleet.Drives, d)
 	}
 	if err := fleet.Validate(); err != nil {
-		return nil, fmt.Errorf("smartio: converted fleet invalid: %w", err)
+		return nil, Summary{}, fmt.Errorf("smartio: converted fleet invalid: %w", err)
 	}
-	return fleet, nil
+	return fleet, sum, nil
 }
 
 // buildDrive converts one drive's rows into a trace.Drive.

@@ -1,6 +1,7 @@
 package smartio
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -92,6 +93,74 @@ func TestReadCSVBadDate(t *testing.T) {
 	bad := "date,serial_number,model,failure\nnot-a-date,S,M,0\n"
 	if _, err := ReadCSV(strings.NewReader(bad), Options{}); err == nil {
 		t.Error("bad date should fail")
+	}
+}
+
+func TestReadCSVStructuredParseError(t *testing.T) {
+	// Ten bad rows interleaved with good ones: the error must count all
+	// ten, itemize the first maxBadRowDetail with line numbers, and not
+	// stop at the first.
+	var b strings.Builder
+	b.WriteString("date,serial_number,model,failure\n")
+	for i := 0; i < 10; i++ {
+		b.WriteString("2023-01-01,GOOD,M,0\n") // odd lines good
+		if i%2 == 0 {
+			b.WriteString("nope,BAD,M,0\n")
+		} else {
+			b.WriteString("2023-01-02,,M,0\n")
+		}
+	}
+	_, err := ReadCSV(strings.NewReader(b.String()), Options{})
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if pe.BadRows != 10 {
+		t.Errorf("BadRows = %d, want 10", pe.BadRows)
+	}
+	if len(pe.First) != maxBadRowDetail {
+		t.Errorf("First has %d entries, want %d", len(pe.First), maxBadRowDetail)
+	}
+	// First bad row is input line 3 (header, good, bad).
+	if pe.First[0].Line != 3 || !strings.Contains(pe.First[0].Reason, "bad date") {
+		t.Errorf("First[0] = %+v", pe.First[0])
+	}
+	if pe.First[1].Line != 5 || pe.First[1].Reason != "empty serial" {
+		t.Errorf("First[1] = %+v", pe.First[1])
+	}
+	if msg := pe.Error(); !strings.Contains(msg, "10 bad row(s)") ||
+		!strings.Contains(msg, "line 3:") || !strings.Contains(msg, "and 2 more") {
+		t.Errorf("Error() = %q", msg)
+	}
+}
+
+func TestReadCSVSkipBadRows(t *testing.T) {
+	in := "date,serial_number,model,failure,smart_241_raw\n" +
+		"2023-01-01,S,M,0,100\n" +
+		"garbage-row-with,no,date,0\n" +
+		"2023-01-02,,M,0,150\n" +
+		"2023-01-02,S,M,0,200\n"
+	fleet, sum, err := ReadCSVSummary(strings.NewReader(in), Options{SkipBadRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Rows != 2 || sum.Skipped != 2 || sum.Drives != 1 {
+		t.Errorf("summary = %+v, want 2 rows / 2 skipped / 1 drive", sum)
+	}
+	if len(sum.First) != 2 || sum.First[0].Line != 3 || sum.First[1].Line != 4 {
+		t.Errorf("summary.First = %+v", sum.First)
+	}
+	if len(fleet.Drives) != 1 || len(fleet.Drives[0].Days) != 2 {
+		t.Fatalf("fleet shape wrong: %d drives", len(fleet.Drives))
+	}
+	if fleet.Drives[0].Days[1].CumWrites != 200 {
+		t.Errorf("good rows altered by skipping: cum = %d", fleet.Drives[0].Days[1].CumWrites)
+	}
+
+	// All rows bad: still "no data rows", not a partial fleet.
+	allBad := "date,serial_number,model,failure\nnope,S,M,0\n"
+	if _, _, err := ReadCSVSummary(strings.NewReader(allBad), Options{SkipBadRows: true}); err == nil {
+		t.Error("all-bad input should fail even in skip mode")
 	}
 }
 

@@ -1,0 +1,99 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file layout: 8-byte magic, u64 LSN (every record with an LSN
+// at or below it is included in the payload), u32 payload length, u32
+// CRC32C of the payload, payload. The file is replaced atomically
+// (write temp, fsync, rename, fsync dir), so a crash mid-snapshot
+// leaves the previous snapshot intact.
+
+const (
+	snapMagic = "SSDWSNP1"
+	// SnapshotName is the current-snapshot file inside Options.Dir.
+	SnapshotName = "snapshot.snap"
+	snapTmpName  = "snapshot.tmp"
+	snapHeader   = len(snapMagic) + 8 + 4 + 4
+)
+
+// ErrSnapshotCorrupt marks a snapshot that exists but fails validation.
+// Recovery should proceed as if no snapshot existed (replaying whatever
+// WAL segments remain) and surface the corruption to the operator.
+var ErrSnapshotCorrupt = errors.New("wal: snapshot corrupt")
+
+// WriteSnapshot atomically replaces the snapshot file with payload,
+// covering every record with an LSN at or below lsn. Concurrent calls
+// are serialized; the log keeps appending meanwhile.
+func (l *Log) WriteSnapshot(lsn uint64, payload []byte) error {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+	fsys, dir := l.opt.FS, l.opt.Dir
+	tmp := filepath.Join(dir, snapTmpName)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot temp: %w", err)
+	}
+	buf := make([]byte, 0, snapHeader+len(payload))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	buf = append(buf, payload...)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, SnapshotName)); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: snapshot dir fsync: %w", err)
+	}
+	l.snapshots.Add(1)
+	return nil
+}
+
+// LoadSnapshot reads and validates the snapshot in opt.Dir. found is
+// false when none exists. A snapshot that exists but fails validation
+// returns found=false and an error wrapping ErrSnapshotCorrupt; the
+// caller may still recover from the WAL alone.
+func LoadSnapshot(opt Options) (payload []byte, lsn uint64, found bool, err error) {
+	opt = opt.withDefaults()
+	data, err := readAll(opt.FS, filepath.Join(opt.Dir, SnapshotName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, fmt.Errorf("wal: reading snapshot: %w", err)
+	}
+	if len(data) < snapHeader || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, 0, false, fmt.Errorf("%w: bad header", ErrSnapshotCorrupt)
+	}
+	off := len(snapMagic)
+	lsn = binary.LittleEndian.Uint64(data[off : off+8])
+	length := binary.LittleEndian.Uint32(data[off+8 : off+12])
+	sum := binary.LittleEndian.Uint32(data[off+12 : off+16])
+	payload = data[snapHeader:]
+	if int(length) != len(payload) {
+		return nil, 0, false, fmt.Errorf("%w: length %d != %d payload bytes",
+			ErrSnapshotCorrupt, length, len(payload))
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0, false, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+	return payload, lsn, true, nil
+}

@@ -1,0 +1,565 @@
+// Package wal implements an append-only, segment-rotated write-ahead
+// log with per-frame CRC32C checksums, plus atomic point-in-time
+// snapshots, so the fleet-scoring daemon's in-memory state survives
+// crashes. Recovery replays the newest snapshot and then the WAL tail;
+// a torn or corrupt frame truncates the log at that point instead of
+// failing the boot — exactly the lossy-telemetry posture the paper's
+// field pipelines require.
+//
+// On-disk layout (all integers little-endian):
+//
+//	wal-<first LSN, 20 digits>.seg   frames: len u32 | crc32c u32 | payload
+//	snapshot.snap                    "SSDWSNP1" | lsn u64 | len u32 | crc32c u32 | payload
+//
+// Log sequence numbers (LSNs) start at 1 and are implicit: frame i of a
+// segment has LSN firstLSN+i. Payloads are opaque to this package and
+// must be non-empty (a zero length marks a torn frame, so runs of
+// zeroes from preallocated or zero-extended files never parse as
+// records).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ssdfail/internal/faultfs"
+)
+
+const (
+	frameHeaderSize = 8
+	segPrefix       = "wal-"
+	segSuffix       = ".seg"
+
+	// DefaultSegmentBytes is the rotation threshold.
+	DefaultSegmentBytes = 8 << 20
+	// DefaultSyncEvery is the default fsync policy: flush to stable
+	// storage every this many appends (and on rotation and close).
+	DefaultSyncEvery = 64
+	// SyncNever disables policy-driven fsyncs; only rotation, Close,
+	// and explicit Sync calls flush.
+	SyncNever = -1
+	// DefaultMaxRecordBytes caps one frame's payload; larger lengths in
+	// a frame header are treated as corruption.
+	DefaultMaxRecordBytes = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrBroken marks a log poisoned by an earlier write error: the
+	// tail may hold a torn frame, so further appends are refused until
+	// the log is reopened (which truncates the tear).
+	ErrBroken = errors.New("wal: log broken by earlier write error")
+	// ErrTooLarge is returned for payloads above MaxRecordBytes.
+	ErrTooLarge = errors.New("wal: record exceeds maximum size")
+)
+
+// Options configures a log.
+type Options struct {
+	// Dir holds the segments and snapshot.
+	Dir string
+	// FS is the filesystem; nil means the real one.
+	FS faultfs.FS
+	// SegmentBytes rotates segments above this size (0 = default).
+	SegmentBytes int64
+	// SyncEvery is the fsync policy: 1 fsyncs every append, n > 1 every
+	// n appends, SyncNever only on rotation/close, 0 = default.
+	SyncEvery int
+	// MaxRecordBytes caps payload size (0 = default).
+	MaxRecordBytes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = faultfs.OS()
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = DefaultSyncEvery
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	return o
+}
+
+// RecoveryStats summarizes what Open found on disk.
+type RecoveryStats struct {
+	// Records is how many intact frames were replayed.
+	Records uint64
+	// Truncations counts recovery truncations: 1 when a torn or
+	// corrupt frame cut the log short, 0 on a clean log.
+	Truncations int
+	// TruncatedBytes is how many bytes were dropped by the truncation.
+	TruncatedBytes int64
+	// SegmentsDropped counts whole segments discarded because they
+	// followed a corrupt frame or broke LSN continuity.
+	SegmentsDropped int
+	// Segments is how many segments remain after recovery.
+	Segments int
+}
+
+// Stats are cumulative operation counts for a live log.
+type Stats struct {
+	Appends   uint64
+	Fsyncs    uint64
+	Rotations uint64
+	Snapshots uint64
+}
+
+// flushThreshold bounds how many buffered frame bytes accumulate
+// before they are written through to the segment file even when no
+// sync boundary has been reached. While the syncer goroutine has an
+// fsync in flight, writes to the same file would stall on the inode
+// lock, so appends keep buffering past the threshold up to
+// maxBufferBytes — the hard cap that applies backpressure instead of
+// letting a slow disk grow the buffer without bound.
+const (
+	flushThreshold = 64 << 10
+	maxBufferBytes = 8 << 20
+)
+
+// Log is an open write-ahead log positioned after its last intact
+// frame. All methods are safe for concurrent use.
+//
+// Appends accumulate in an in-process buffer and are written through at
+// sync boundaries, rotation, close, or the flush threshold — one write
+// syscall then covers a whole batch of frames. With SyncEvery == 1
+// every append is flushed and fsynced before it returns; with larger
+// policies the policy fsync is issued by a background syncer goroutine
+// (group commit), so appends never wait on the disk. Either way a
+// record is only guaranteed durable once its covering fsync completes,
+// which is the contract Options.SyncEvery documents.
+type Log struct {
+	opt Options
+
+	mu        sync.Mutex
+	syncCond  *sync.Cond // signals async-fsync completion; tied to mu
+	f         faultfs.File
+	buf       []byte // appended frames not yet written to f
+	segStart  uint64 // first LSN of the active segment
+	segBytes  int64  // includes buffered bytes
+	next      uint64 // LSN the next append receives
+	sinceSync int
+	dirty     bool  // bytes exist that no completed fsync covers
+	flushed   int64 // total bytes written through to segment files
+	syncBusy  bool  // the syncer goroutine is inside fsync
+	closed    bool
+	err       error // sticky write error
+
+	syncCh     chan struct{} // coalesced async fsync requests
+	syncerDone chan struct{}
+
+	snapMu sync.Mutex // serializes WriteSnapshot
+
+	appends   atomic.Uint64
+	fsyncs    atomic.Uint64
+	rotations atomic.Uint64
+	snapshots atomic.Uint64
+}
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, first, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the segment first-LSNs in dir, ascending.
+func listSegments(fsys faultfs.FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var firsts []uint64
+	for _, e := range entries {
+		if first, ok := parseSegName(e.Name()); ok && !e.IsDir() {
+			firsts = append(firsts, first)
+		}
+	}
+	sort.Slice(firsts, func(a, b int) bool { return firsts[a] < firsts[b] })
+	return firsts, nil
+}
+
+// Open recovers the log in opt.Dir, invoking replay for every intact
+// frame in LSN order, and returns a log positioned for appending. The
+// first torn or corrupt frame truncates the log there: the broken
+// frame, the rest of its segment, and any later segments are dropped.
+// The payload passed to replay is only valid during the call.
+func Open(opt Options, replay func(lsn uint64, payload []byte)) (*Log, RecoveryStats, error) {
+	opt = opt.withDefaults()
+	var stats RecoveryStats
+	if err := opt.FS.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, stats, fmt.Errorf("wal: mkdir %s: %w", opt.Dir, err)
+	}
+	firsts, err := listSegments(opt.FS, opt.Dir)
+	if err != nil {
+		return nil, stats, fmt.Errorf("wal: listing segments: %w", err)
+	}
+
+	l := &Log{opt: opt, next: 1, segStart: 1}
+	if len(firsts) > 0 {
+		l.next = firsts[0]
+		l.segStart = firsts[0]
+	}
+	corrupt := false
+	for i, first := range firsts {
+		path := filepath.Join(opt.Dir, segName(first))
+		if corrupt || first != l.next {
+			// Unreachable records: either a corrupt frame cut the
+			// sequence earlier, or this segment's first LSN does not
+			// continue it (a pruning gap mid-sequence). Keeping them
+			// would break the accepted-prefix guarantee.
+			if err := opt.FS.Remove(path); err != nil {
+				return nil, stats, fmt.Errorf("wal: dropping unreachable segment: %w", err)
+			}
+			stats.SegmentsDropped++
+			continue
+		}
+		data, err := readAll(opt.FS, path)
+		if err != nil {
+			return nil, stats, fmt.Errorf("wal: reading segment: %w", err)
+		}
+		off := 0
+		for {
+			n, payload := parseFrame(data[off:], opt.MaxRecordBytes)
+			if n == 0 {
+				break
+			}
+			replay(l.next, payload)
+			stats.Records++
+			l.next++
+			off += n
+		}
+		if off < len(data) {
+			// Torn or corrupt frame: cut here, drop the rest.
+			if err := opt.FS.Truncate(path, int64(off)); err != nil {
+				return nil, stats, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			stats.Truncations++
+			stats.TruncatedBytes += int64(len(data) - off)
+			corrupt = true
+		}
+		if i == len(firsts)-1 || corrupt {
+			l.segStart = first
+			l.segBytes = int64(off)
+		}
+	}
+
+	path := filepath.Join(opt.Dir, segName(l.segStart))
+	f, err := opt.FS.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, stats, fmt.Errorf("wal: opening active segment: %w", err)
+	}
+	l.f = f
+	l.syncCond = sync.NewCond(&l.mu)
+	if opt.SyncEvery > 1 {
+		l.syncCh = make(chan struct{}, 1)
+		l.syncerDone = make(chan struct{})
+		go l.syncer()
+	}
+	remaining, err := listSegments(opt.FS, opt.Dir)
+	if err == nil {
+		stats.Segments = len(remaining)
+	}
+	return l, stats, nil
+}
+
+// parseFrame returns the total frame size and payload of the frame at
+// the start of data, or (0, nil) when data holds no complete valid
+// frame (torn tail, zero length, oversized length, or CRC mismatch).
+func parseFrame(data []byte, maxRecord int) (int, []byte) {
+	if len(data) < frameHeaderSize {
+		return 0, nil
+	}
+	length := binary.LittleEndian.Uint32(data[0:4])
+	if length == 0 || int(length) > maxRecord {
+		return 0, nil
+	}
+	end := frameHeaderSize + int(length)
+	if end > len(data) {
+		return 0, nil
+	}
+	payload := data[frameHeaderSize:end]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[4:8]) {
+		return 0, nil
+	}
+	return end, payload
+}
+
+func readAll(fsys faultfs.FS, path string) ([]byte, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// Append writes one record and returns its LSN. Depending on the fsync
+// policy the record may not be durable until the next policy fsync, an
+// explicit Sync, or Close. After a write error the log is poisoned
+// (ErrBroken) because the tail may be torn; reopen to recover.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) == 0 {
+		return 0, errors.New("wal: empty payload")
+	}
+	if len(payload) > l.opt.MaxRecordBytes {
+		return 0, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), l.opt.MaxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrBroken, l.err)
+	}
+	frame := int64(frameHeaderSize + len(payload))
+	if l.segBytes > 0 && l.segBytes+frame > l.opt.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.err = err
+			return 0, err
+		}
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, payload...)
+	lsn := l.next
+	l.next++
+	l.segBytes += frame
+	l.sinceSync++
+	l.dirty = true
+	l.appends.Add(1)
+	switch {
+	case l.opt.SyncEvery == 1:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case l.opt.SyncEvery > 1 && l.sinceSync >= l.opt.SyncEvery:
+		// Group commit: hand the whole batch — flush and fsync — to the
+		// syncer goroutine so appends never issue a syscall here.
+		// Durability is still only promised once the policy fsync
+		// completes.
+		l.sinceSync = 0
+		select {
+		case l.syncCh <- struct{}{}:
+		default: // a request is already queued; it will cover this batch
+		}
+	case len(l.buf) >= flushThreshold && (!l.syncBusy || len(l.buf) >= maxBufferBytes):
+		if err := l.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// flushLocked writes buffered frames through to the active segment.
+func (l *Log) flushLocked() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	n, err := l.f.Write(l.buf)
+	l.flushed += int64(n)
+	if err != nil {
+		l.err = err
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.buf = l.buf[:0]
+	return nil
+}
+
+// syncer issues policy fsyncs off the append path. One in-flight fsync
+// covers every byte flushed before it started; coalesced requests mean
+// a slow disk degrades to fewer, larger group commits rather than a
+// queue of fsyncs.
+func (l *Log) syncer() {
+	defer close(l.syncerDone)
+	for range l.syncCh {
+		l.mu.Lock()
+		if l.closed || l.err != nil || !l.dirty {
+			l.mu.Unlock()
+			continue
+		}
+		if err := l.flushLocked(); err != nil {
+			l.syncCond.Broadcast() // sticky error set; wake any waiter
+			l.mu.Unlock()
+			continue
+		}
+		f := l.f
+		mark := l.flushed
+		l.syncBusy = true
+		l.mu.Unlock()
+
+		err := f.Sync()
+
+		l.mu.Lock()
+		l.syncBusy = false
+		if err != nil {
+			if l.err == nil {
+				l.err = err
+			}
+		} else {
+			l.fsyncs.Add(1)
+			// Only bytes flushed before the fsync started are covered.
+			if l.flushed == mark && len(l.buf) == 0 {
+				l.dirty = false
+			}
+		}
+		l.syncCond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// rotateLocked syncs and closes the active segment and starts a new one
+// whose name carries the next LSN.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: closing segment: %w", err)
+	}
+	path := filepath.Join(l.opt.Dir, segName(l.next))
+	f, err := l.opt.FS.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: opening segment: %w", err)
+	}
+	if err := l.opt.FS.SyncDir(l.opt.Dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing dir: %w", err)
+	}
+	l.f = f
+	l.segStart = l.next
+	l.segBytes = 0
+	l.rotations.Add(1)
+	return nil
+}
+
+// syncLocked makes everything appended so far durable: it waits out an
+// in-flight async fsync, flushes the buffer, and fsyncs inline.
+func (l *Log) syncLocked() error {
+	for l.syncBusy {
+		l.syncCond.Wait()
+	}
+	if l.err != nil {
+		return fmt.Errorf("%w: %w", ErrBroken, l.err)
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = err
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	l.sinceSync = 0
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return fmt.Errorf("%w: %w", ErrBroken, l.err)
+	}
+	return l.syncLocked()
+}
+
+// Close syncs and closes the active segment and stops the syncer.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	err := l.syncLocked()
+	l.closed = true
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	l.mu.Unlock()
+	if l.syncCh != nil {
+		close(l.syncCh)
+		<-l.syncerDone
+	}
+	return err
+}
+
+// LastLSN returns the LSN of the most recent append (0 when empty).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// Stats returns cumulative operation counts.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:   l.appends.Load(),
+		Fsyncs:    l.fsyncs.Load(),
+		Rotations: l.rotations.Load(),
+		Snapshots: l.snapshots.Load(),
+	}
+}
+
+// Prune removes segments whose every record is below beforeLSN (i.e.
+// fully covered by a snapshot). The active segment is never removed.
+// It returns how many segments were deleted.
+func (l *Log) Prune(beforeLSN uint64) (int, error) {
+	l.mu.Lock()
+	segStart := l.segStart
+	l.mu.Unlock()
+	firsts, err := listSegments(l.opt.FS, l.opt.Dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: prune: %w", err)
+	}
+	removed := 0
+	for i := 0; i+1 < len(firsts); i++ {
+		if firsts[i] == segStart || firsts[i+1] > beforeLSN {
+			continue
+		}
+		if err := l.opt.FS.Remove(filepath.Join(l.opt.Dir, segName(firsts[i]))); err != nil {
+			return removed, fmt.Errorf("wal: prune: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := l.opt.FS.SyncDir(l.opt.Dir); err != nil {
+			return removed, fmt.Errorf("wal: prune: %w", err)
+		}
+	}
+	return removed, nil
+}
