@@ -74,6 +74,7 @@ func run() error {
 		walDir        = flag.String("wal-dir", "", "write-ahead-log directory; empty disables durability")
 		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size (0 = 8 MiB)")
 		walSyncEvery  = flag.Int("wal-sync-every", 0, "fsync the WAL every N accepted records (0 = 64, -1 = only on rotation/close)")
+		walSyncIntvl  = flag.Duration("wal-sync-interval", 0, "max time an accepted record may sit un-fsynced under group commit (0 = 100ms, negative disables the timer)")
 		snapshotEvery = flag.Int("snapshot-every", 0, "write a store snapshot every N accepted records (0 = 4096, -1 disables)")
 
 		maxIngest   = flag.Int("max-inflight-ingest", 0, "concurrent ingest requests before shedding with 429 (0 = 256)")
@@ -102,6 +103,7 @@ func run() error {
 		WALDir:             *walDir,
 		WALSegmentBytes:    *walSegBytes,
 		WALSyncEvery:       *walSyncEvery,
+		WALSyncInterval:    *walSyncIntvl,
 		SnapshotEvery:      *snapshotEvery,
 		MaxInflightIngest:  *maxIngest,
 		MaxInflightScores:  *maxScores,

@@ -143,10 +143,10 @@ func checkRecovered(t *testing.T, store *Store, steps []crashStep, accepted map[
 
 // countWriteOps dry-runs the workload to learn how many filesystem
 // write operations it performs, i.e. how many kill points exist.
-func countWriteOps(t *testing.T, steps []crashStep) int {
+func countWriteOps(t *testing.T, steps []crashStep, options func(faultfs.FS) JournalOptions) int {
 	t.Helper()
 	inj := faultfs.New(faultfs.Mem())
-	j, err := OpenJournal(NewStore(4, crashHistory), crashJournalOptions(inj))
+	j, err := OpenJournal(NewStore(4, crashHistory), options(inj))
 	if err != nil {
 		t.Fatalf("dry run open: %v", err)
 	}
@@ -168,7 +168,7 @@ func countWriteOps(t *testing.T, steps []crashStep) int {
 // proving a recovered log accepts writes and stays consistent.
 func TestCrashRecoveryEveryKillPoint(t *testing.T) {
 	steps := crashWorkload()
-	writes := countWriteOps(t, steps)
+	writes := countWriteOps(t, steps, crashJournalOptions)
 	if writes < len(steps)/2 {
 		t.Fatalf("dry run saw only %d write ops for %d steps", writes, len(steps))
 	}
@@ -227,6 +227,135 @@ func TestCrashRecoveryEveryKillPoint(t *testing.T) {
 	}
 }
 
+// crashGroupCommitOptions configures the journal like a production
+// deployment's group-commit policy: the background syncer issues one
+// fsync per 8 appends and frames sit in the in-process buffer between
+// boundaries. The timer flush is disabled so kill points stay
+// reproducible.
+func crashGroupCommitOptions(fs faultfs.FS) JournalOptions {
+	o := crashJournalOptions(fs)
+	o.SyncEvery = 8
+	o.SyncInterval = -1
+	return o
+}
+
+// runUntilCrashOrdered is runUntilCrash, but returns the indices of the
+// accepted steps in acceptance (= WAL) order instead of a per-drive map.
+func runUntilCrashOrdered(t *testing.T, j *Journal, steps []crashStep) (acceptedIdx []int, stop int) {
+	t.Helper()
+	for i, st := range steps {
+		err := j.Upsert(st.id, st.model, st.rec)
+		if err == nil {
+			if !st.valid {
+				t.Fatalf("invalid record (drive %d day %d) was accepted", st.id, st.rec.Day)
+			}
+			acceptedIdx = append(acceptedIdx, i)
+			continue
+		}
+		if errors.Is(err, ErrJournal) {
+			if !st.valid {
+				t.Fatalf("invalid record (drive %d day %d) reached the WAL: %v", st.id, st.rec.Day, err)
+			}
+			return acceptedIdx, i
+		}
+		if st.valid {
+			t.Fatalf("valid record (drive %d day %d) rejected: %v", st.id, st.rec.Day, err)
+		}
+	}
+	return acceptedIdx, len(steps)
+}
+
+// TestCrashRecoveryGroupCommitKillPoints drives the default-style
+// asynchronous group-commit path (SyncEvery > 1: background syncer,
+// buffered frames) through every kill point. Acknowledged records may
+// legitimately be lost up to the durability contract, so the property
+// is prefix consistency rather than exact recovery: the recovered state
+// must equal the snapshot plus the surviving WAL prefix — some prefix
+// of the accepted sequence with no holes, no resurrected rejects — and,
+// critically, records accepted AFTER recovery must survive a subsequent
+// clean reopen. That last assertion is the regression test for a
+// snapshot whose LSN ran ahead of the durable WAL tail: post-recovery
+// appends would silently reuse snapshot-covered LSNs and vanish on the
+// next boot.
+func TestCrashRecoveryGroupCommitKillPoints(t *testing.T) {
+	steps := crashWorkload()
+	writes := countWriteOps(t, steps, crashGroupCommitOptions)
+	if writes < 20 {
+		t.Fatalf("dry run saw only %d write ops for %d steps", writes, len(steps))
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 13
+	}
+	frame := 8 + walRecordBinarySize
+	for k := 1; k <= writes; k += stride {
+		partial := k % (frame + 11) // tear batches mid-frame and past frame boundaries
+		base := faultfs.Mem()
+		inj := faultfs.New(base)
+		inj.Crash(k, partial)
+
+		j, err := OpenJournal(NewStore(4, crashHistory), crashGroupCommitOptions(inj))
+		if err != nil {
+			t.Fatalf("kill %d: open: %v", k, err)
+		}
+		acceptedIdx, stop := runUntilCrashOrdered(t, j, steps)
+		j.Close() //nolint:errcheck // the filesystem is dead
+
+		store2 := NewStore(4, crashHistory)
+		j2, err := OpenJournal(store2, crashGroupCommitOptions(base))
+		if err != nil {
+			t.Fatalf("kill %d (partial %d): recovery failed: %v", k, partial, err)
+		}
+		rec := j2.Recovery()
+		if rec.Malformed != 0 || rec.Duplicates != 0 || rec.SnapshotCorrupt {
+			t.Fatalf("kill %d: recovery reported damage: %+v", k, rec)
+		}
+		// LSN n is the nth accepted record, so snapshot coverage plus
+		// replayed tail records is exactly how much of the accepted
+		// sequence survived.
+		m := int(rec.SnapshotLSN + rec.Replayed)
+		if m > len(acceptedIdx) {
+			t.Fatalf("kill %d: recovered %d records but only %d were accepted", k, m, len(acceptedIdx))
+		}
+		state := make(map[uint32][]trace.DayRecord)
+		for _, si := range acceptedIdx[:m] {
+			state[steps[si].id] = append(state[steps[si].id], steps[si].rec)
+		}
+		checkRecovered(t, store2, steps, state)
+
+		// Re-ingest everything past the surviving prefix (skipping the
+		// workload's deliberately-invalid probes, whose validity was
+		// defined against the pre-crash state) and prove the recovered
+		// journal keeps those records across one more clean reboot.
+		resumeFrom := stop
+		if m < len(acceptedIdx) {
+			resumeFrom = acceptedIdx[m]
+		}
+		for i := resumeFrom; i < len(steps); i++ {
+			st := steps[i]
+			if !st.valid {
+				continue
+			}
+			if err := j2.Upsert(st.id, st.model, st.rec); err != nil {
+				t.Fatalf("kill %d: re-ingest of step %d after recovery: %v", k, i, err)
+			}
+			state[st.id] = append(state[st.id], st.rec)
+		}
+		if err := j2.Close(); err != nil {
+			t.Fatalf("kill %d: closing recovered journal: %v", k, err)
+		}
+		store3 := NewStore(4, crashHistory)
+		j3, err := OpenJournal(store3, crashGroupCommitOptions(base))
+		if err != nil {
+			t.Fatalf("kill %d: reopening after resumed ingest: %v", k, err)
+		}
+		checkRecovered(t, store3, steps, state)
+		if err := j3.Close(); err != nil {
+			t.Fatalf("kill %d: final close: %v", k, err)
+		}
+	}
+}
+
 // TestCrashRecoveryAfterCleanShutdown checks the no-fault path: a
 // cleanly closed journal recovers byte-for-byte with zero truncations.
 func TestCrashRecoveryAfterCleanShutdown(t *testing.T) {
@@ -256,6 +385,20 @@ func TestCrashRecoveryAfterCleanShutdown(t *testing.T) {
 		t.Fatalf("no snapshot found after %d records with SnapshotEvery=137", len(steps))
 	}
 	checkRecovered(t, store2, steps, accepted)
+}
+
+// TestOpenJournalRejectsOversizedHistory: the snapshot format stores a
+// u16 per-drive record count, so a history the format cannot represent
+// must be refused at open instead of silently truncated at snapshot
+// time.
+func TestOpenJournalRejectsOversizedHistory(t *testing.T) {
+	_, err := OpenJournal(NewStore(4, 1<<16), crashJournalOptions(faultfs.Mem()))
+	if err == nil {
+		t.Fatal("history beyond the snapshot format's u16 limit was accepted")
+	}
+	if _, err := OpenJournal(NewStore(4, 1<<16-1), crashJournalOptions(faultfs.Mem())); err != nil {
+		t.Fatalf("history at the limit rejected: %v", err)
+	}
 }
 
 // TestCrashJournalErrorLeavesStoreConsistent pins the ordering

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ssdfail/internal/faultfs"
 	"ssdfail/internal/trace"
@@ -28,6 +30,10 @@ type JournalOptions struct {
 	// SyncEvery wal.SyncNever disables policy fsyncs).
 	SegmentBytes int64
 	SyncEvery    int
+	// SyncInterval bounds the durability latency of group commit
+	// (SyncEvery > 1): dirty WAL bytes are fsynced at least this often.
+	// 0 = wal.DefaultSyncInterval; negative disables the timer.
+	SyncInterval time.Duration
 	// SnapshotEvery writes a store snapshot (and prunes covered WAL
 	// segments) every this many accepted records. 0 means the default
 	// 4096; negative disables automatic snapshots.
@@ -86,6 +92,8 @@ type Journal struct {
 	sinceSnap    atomic.Int64
 	snapshotting atomic.Bool
 	wg           sync.WaitGroup
+	closeMu      sync.Mutex // guards closed and, with it, wg.Add vs Close
+	closed       bool
 
 	snapshotFailures atomic.Uint64
 	pruned           atomic.Uint64
@@ -101,6 +109,13 @@ func OpenJournal(store *Store, opt JournalOptions) (*Journal, error) {
 	if opt.SnapshotEvery == 0 {
 		opt.SnapshotEvery = DefaultSnapshotEvery
 	}
+	if store.history > math.MaxUint16 {
+		// The snapshot format stores a per-drive record count as u16;
+		// refusing here is better than silently truncating a recovered
+		// drive's history to less than the live store retains.
+		return nil, fmt.Errorf("serve: history %d exceeds the snapshot format's per-drive limit %d",
+			store.history, math.MaxUint16)
+	}
 	j := &Journal{store: store, opt: opt}
 	j.bufs.New = func() any { b := make([]byte, 0, walRecordBinarySize); return &b }
 	walOpt := wal.Options{
@@ -108,6 +123,7 @@ func OpenJournal(store *Store, opt JournalOptions) (*Journal, error) {
 		FS:           opt.FS,
 		SegmentBytes: opt.SegmentBytes,
 		SyncEvery:    opt.SyncEvery,
+		SyncInterval: opt.SyncInterval,
 	}
 
 	payload, snapLSN, found, err := wal.LoadSnapshot(walOpt)
@@ -133,6 +149,11 @@ func OpenJournal(store *Store, opt JournalOptions) (*Journal, error) {
 		}
 	}
 
+	// Floor WAL recovery at the snapshot: if a crash lost the WAL tail
+	// the snapshot had already covered, records accepted after recovery
+	// must not reuse covered LSNs (the replay filter below would drop
+	// them on the next boot).
+	walOpt.MinLSN = snapLSN
 	log, wstats, err := wal.Open(walOpt, func(lsn uint64, frame []byte) {
 		if lsn <= snapLSN {
 			j.rec.SkippedCovered++
@@ -212,7 +233,17 @@ func (j *Journal) maybeSnapshot() {
 		}
 	}
 	if j.opt.AsyncSnapshots {
+		// wg.Add must not race Close's wg.Wait: an Upsert finishing just
+		// as the journal closes would otherwise start a snapshot against
+		// a closed log.
+		j.closeMu.Lock()
+		if j.closed {
+			j.closeMu.Unlock()
+			j.snapshotting.Store(false)
+			return
+		}
 		j.wg.Add(1)
+		j.closeMu.Unlock()
 		go func() { defer j.wg.Done(); run() }()
 	} else {
 		run()
@@ -225,6 +256,14 @@ func (j *Journal) maybeSnapshot() {
 // might miss is replayed from the WAL on recovery.
 func (j *Journal) Snapshot() error {
 	lsn := j.log.LastLSN()
+	// Make everything the snapshot will claim to cover durable before
+	// the snapshot is published. Without this, a group-commit policy can
+	// leave the durable WAL tail behind the snapshot LSN; after a crash
+	// the log would hand out LSNs the snapshot already covers, and the
+	// next boot's replay filter would silently drop those records.
+	if err := j.log.Sync(); err != nil {
+		return err
+	}
 	drives := j.store.Drives()
 	payload := encodeStoreSnapshot(drives)
 	if err := j.log.WriteSnapshot(lsn, payload); err != nil {
@@ -242,22 +281,27 @@ func (j *Journal) Sync() error { return j.log.Sync() }
 
 // Close waits for an in-flight snapshot, then syncs and closes the WAL.
 func (j *Journal) Close() error {
+	j.closeMu.Lock()
+	j.closed = true
+	j.closeMu.Unlock()
 	j.wg.Wait()
 	return j.log.Close()
 }
 
 // Store snapshot payload: version u32, drive count u32, then per drive
-// the ID, model, retained-record count (u8), and fixed-width records.
+// the ID, model, retained-record count (u16), and fixed-width records.
+// OpenJournal rejects histories above the u16 limit, so the count never
+// silently truncates a drive's retained window.
 const storeSnapshotVersion = 1
 
 func encodeStoreSnapshot(drives []DriveSnapshot) []byte {
 	size := 8
 	for i := range drives {
 		n := len(drives[i].Recent)
-		if n > 255 {
-			n = 255
+		if n > math.MaxUint16 {
+			n = math.MaxUint16
 		}
-		size += 6 + n*dayRecordBinarySize
+		size += 7 + n*dayRecordBinarySize
 	}
 	buf := make([]byte, 0, size)
 	buf = binary.LittleEndian.AppendUint32(buf, storeSnapshotVersion)
@@ -265,11 +309,15 @@ func encodeStoreSnapshot(drives []DriveSnapshot) []byte {
 	for i := range drives {
 		d := &drives[i]
 		recent := d.Recent
-		if len(recent) > 255 {
-			recent = recent[len(recent)-255:]
+		if len(recent) > math.MaxUint16 {
+			// Unreachable while OpenJournal enforces the history limit;
+			// kept so a future format bug degrades to a shorter window
+			// instead of a corrupt payload.
+			recent = recent[len(recent)-math.MaxUint16:]
 		}
 		buf = binary.LittleEndian.AppendUint32(buf, d.ID)
-		buf = append(buf, byte(d.Model), byte(len(recent)))
+		buf = append(buf, byte(d.Model))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(recent)))
 		for r := range recent {
 			buf = appendDayRecordBinary(buf, &recent[r])
 		}
@@ -293,15 +341,15 @@ func decodeStoreSnapshot(b []byte) ([]DriveSnapshot, error) {
 	}
 	drives := make([]DriveSnapshot, 0, alloc)
 	for i := uint32(0); i < n; i++ {
-		if len(b) < 6 {
+		if len(b) < 7 {
 			return nil, fmt.Errorf("serve: snapshot drive %d header truncated", i)
 		}
 		d := DriveSnapshot{ID: binary.LittleEndian.Uint32(b), Model: trace.Model(b[4])}
 		if int(d.Model) >= trace.NumModels {
 			return nil, fmt.Errorf("serve: snapshot drive %d has unknown model %d", i, b[4])
 		}
-		nrec := int(b[5])
-		b = b[6:]
+		nrec := int(binary.LittleEndian.Uint16(b[5:]))
+		b = b[7:]
 		d.Recent = make([]trace.DayRecord, nrec)
 		for r := 0; r < nrec; r++ {
 			var err error

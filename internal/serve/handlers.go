@@ -41,10 +41,11 @@ type Config struct {
 	// replay time, and boot recovers snapshot+tail. Empty disables
 	// durability (in-memory only, as before).
 	WALDir string
-	// WALSegmentBytes, WALSyncEvery, and SnapshotEvery tune the
-	// journal; zero values use the wal/journal defaults.
+	// WALSegmentBytes, WALSyncEvery, WALSyncInterval, and SnapshotEvery
+	// tune the journal; zero values use the wal/journal defaults.
 	WALSegmentBytes int64
 	WALSyncEvery    int
+	WALSyncInterval time.Duration
 	SnapshotEvery   int
 	// WALFS overrides the journal's filesystem (fault-injection tests).
 	WALFS faultfs.FS
@@ -150,6 +151,7 @@ func New(cfg Config) (*Server, error) {
 			FS:             cfg.WALFS,
 			SegmentBytes:   cfg.WALSegmentBytes,
 			SyncEvery:      cfg.WALSyncEvery,
+			SyncInterval:   cfg.WALSyncInterval,
 			SnapshotEvery:  cfg.SnapshotEvery,
 			AsyncSnapshots: !cfg.SyncSnapshots,
 		})

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ssdfail/internal/faultfs"
 )
@@ -48,6 +49,12 @@ const (
 	// SyncNever disables policy-driven fsyncs; only rotation, Close,
 	// and explicit Sync calls flush.
 	SyncNever = -1
+	// DefaultSyncInterval bounds how long an accepted record can sit
+	// buffered and un-fsynced under a SyncEvery > 1 policy: the
+	// background syncer also fires this long after the last activity
+	// whenever dirty bytes exist, so trickle traffic is made durable
+	// within ~this latency instead of waiting for a full batch.
+	DefaultSyncInterval = 100 * time.Millisecond
 	// DefaultMaxRecordBytes caps one frame's payload; larger lengths in
 	// a frame header are treated as corruption.
 	DefaultMaxRecordBytes = 16 << 20
@@ -77,8 +84,27 @@ type Options struct {
 	// SyncEvery is the fsync policy: 1 fsyncs every append, n > 1 every
 	// n appends, SyncNever only on rotation/close, 0 = default.
 	SyncEvery int
+	// SyncInterval bounds the durability latency of the SyncEvery > 1
+	// group-commit path: when dirty bytes exist, the background syncer
+	// flushes and fsyncs at least this often even if no sync boundary
+	// is reached. 0 = DefaultSyncInterval; negative disables the timer
+	// (batches then wait for a boundary, Sync, rotation, or Close).
+	// It has no effect with SyncEvery == 1 (nothing is ever deferred)
+	// or SyncNever (explicit-sync-only is that policy's contract).
+	SyncInterval time.Duration
 	// MaxRecordBytes caps payload size (0 = default).
 	MaxRecordBytes int
+	// MinLSN floors recovery: Open guarantees the next append receives
+	// an LSN strictly greater than MinLSN. Callers pass the LSN of the
+	// snapshot they recovered from, so that when the durable WAL tail
+	// ends before the snapshot's coverage (a crash that lost buffered
+	// frames after the snapshot was published), records accepted after
+	// recovery can never reuse LSNs the snapshot claims to cover — a
+	// reuse would make the next boot's replay filter silently drop
+	// them. When the recovered tail is behind MinLSN every surviving
+	// record is covered by that snapshot, so the stale segments are
+	// deleted and a fresh segment starts at MinLSN+1.
+	MinLSN uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +116,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SyncEvery == 0 {
 		o.SyncEvery = DefaultSyncEvery
+	}
+	if o.SyncInterval == 0 {
+		o.SyncInterval = DefaultSyncInterval
 	}
 	if o.MaxRecordBytes <= 0 {
 		o.MaxRecordBytes = DefaultMaxRecordBytes
@@ -268,6 +297,32 @@ func Open(opt Options, replay func(lsn uint64, payload []byte)) (*Log, RecoveryS
 		}
 	}
 
+	if l.next <= opt.MinLSN {
+		// The durable tail ends before the caller's snapshot coverage:
+		// every record still on disk is ≤ MinLSN and therefore inside
+		// the snapshot. Drop the stale segments and restart numbering
+		// just past the snapshot, so post-recovery appends can never
+		// collide with LSNs the snapshot already claims.
+		stale, err := listSegments(opt.FS, opt.Dir)
+		if err != nil {
+			return nil, stats, fmt.Errorf("wal: listing stale segments: %w", err)
+		}
+		for _, first := range stale {
+			if err := opt.FS.Remove(filepath.Join(opt.Dir, segName(first))); err != nil {
+				return nil, stats, fmt.Errorf("wal: dropping snapshot-covered segment: %w", err)
+			}
+			stats.SegmentsDropped++
+		}
+		if len(stale) > 0 {
+			if err := opt.FS.SyncDir(opt.Dir); err != nil {
+				return nil, stats, fmt.Errorf("wal: syncing dir: %w", err)
+			}
+		}
+		l.next = opt.MinLSN + 1
+		l.segStart = l.next
+		l.segBytes = 0
+	}
+
 	path := filepath.Join(opt.Dir, segName(l.segStart))
 	f, err := opt.FS.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
@@ -396,10 +451,25 @@ func (l *Log) flushLocked() error {
 // syncer issues policy fsyncs off the append path. One in-flight fsync
 // covers every byte flushed before it started; coalesced requests mean
 // a slow disk degrades to fewer, larger group commits rather than a
-// queue of fsyncs.
+// queue of fsyncs. A SyncInterval ticker additionally bounds how long
+// dirty bytes can sit buffered under trickle traffic that never fills
+// a batch.
 func (l *Log) syncer() {
 	defer close(l.syncerDone)
-	for range l.syncCh {
+	var tickC <-chan time.Time
+	if l.opt.SyncInterval > 0 {
+		t := time.NewTicker(l.opt.SyncInterval)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case _, ok := <-l.syncCh:
+			if !ok {
+				return
+			}
+		case <-tickC:
+		}
 		l.mu.Lock()
 		if l.closed || l.err != nil || !l.dirty {
 			l.mu.Unlock()

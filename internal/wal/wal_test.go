@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"ssdfail/internal/faultfs"
 )
@@ -202,6 +203,82 @@ func TestSnapshotRoundTripAndPrune(t *testing.T) {
 	}
 	if len(got) == 30 {
 		t.Fatal("prune removed nothing from replay")
+	}
+}
+
+// TestRecoveryFloorsNextLSNAtSnapshot pins the MinLSN floor: when a
+// crash loses the WAL tail a published snapshot already covers, reopen
+// must hand out LSNs past the snapshot, never reuse covered ones (a
+// reuse would make the next boot's snapshot filter drop fresh records).
+func TestRecoveryFloorsNextLSNAtSnapshot(t *testing.T) {
+	fs := faultfs.Mem()
+	opt := testOpts(fs)
+	opt.SegmentBytes = 1 << 20
+	opt.SyncEvery = SyncNever // appends stay in the in-process buffer
+	l, _, _ := collect(t, opt)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("buffered-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A snapshot claiming coverage through LSN 5 is published, but the
+	// five frames were never flushed. Abandon the log without Close:
+	// the crash loses the entire buffered tail.
+	if err := l.WriteSnapshot(5, []byte("covers-1-through-5")); err != nil {
+		t.Fatal(err)
+	}
+
+	opt.MinLSN = 5
+	l2, got, stats := collect(t, opt)
+	if len(got) != 0 {
+		t.Fatalf("replayed %v from a log whose frames were never written", got)
+	}
+	if stats.SegmentsDropped == 0 {
+		t.Fatal("stale snapshot-covered segment was kept")
+	}
+	lsn, err := l2.Append([]byte("post-recovery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 6 {
+		t.Fatalf("post-recovery lsn = %d, want 6 (past the snapshot)", lsn)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, _ = collect(t, opt)
+	if len(got) != 1 || got[0] != "6:post-recovery" {
+		t.Fatalf("replay after floor = %v, want [6:post-recovery]", got)
+	}
+}
+
+// TestPeriodicSyncBoundsTrickleLatency checks the SyncInterval timer: a
+// single record under a large group-commit policy must still be flushed
+// and fsynced within the interval, not sit buffered indefinitely.
+func TestPeriodicSyncBoundsTrickleLatency(t *testing.T) {
+	fs := faultfs.Mem()
+	opt := testOpts(fs)
+	opt.SyncEvery = 64
+	opt.SyncInterval = 2 * time.Millisecond
+	l, _, _ := collect(t, opt)
+	defer l.Close()
+	if _, err := l.Append([]byte("trickle")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no timer-driven fsync within 5s of a trickle append")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The fsync covered real bytes: the frame reached the segment file.
+	data, err := readAll(fs, filepath.Join(opt.Dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, payload := parseFrame(data, opt.MaxRecordBytes); n == 0 || string(payload) != "trickle" {
+		t.Fatalf("segment holds %d bytes without the trickle frame", len(data))
 	}
 }
 
