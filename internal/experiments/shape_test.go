@@ -1,0 +1,166 @@
+package experiments
+
+// Golden "shape" tests: the simulated fleet must reproduce the
+// qualitative structure of the paper's headline results (paperref.go),
+// not just render non-empty tables. Each test recomputes the quantity
+// directly from the shared context — the same arithmetic the table
+// builders use — so a regression in fleetsim or failure reconstruction
+// breaks here with numbers, not with a diffed string.
+
+import (
+	"testing"
+
+	"ssdfail/internal/failure"
+	"ssdfail/internal/fleetsim"
+	"ssdfail/internal/trace"
+)
+
+// writeErrorIncidence returns, per model, the proportion of drive days
+// with at least one transparent write error (Table 1's "write" row).
+func writeErrorIncidence(ctx *Context) [trace.NumModels]float64 {
+	var days, with [trace.NumModels]float64
+	for i := range ctx.Fleet.Drives {
+		d := &ctx.Fleet.Drives[i]
+		for j := range d.Days {
+			days[d.Model]++
+			if d.Days[j].Errors[trace.ErrWrite] > 0 {
+				with[d.Model]++
+			}
+		}
+	}
+	var out [trace.NumModels]float64
+	for m := range out {
+		if days[m] > 0 {
+			out[m] = with[m] / days[m]
+		}
+	}
+	return out
+}
+
+// TestTable1WriteIncidenceOrdering pins the paper's most distinctive
+// Table 1 feature: MLC-B's write-error incidence dwarfs the other two
+// models (0.001309 vs 0.000117 / 0.000162 — roughly an order of
+// magnitude). The simulation must keep B clearly on top; we require a
+// 4x margin rather than the paper's ~10x so the test tolerates seed
+// variance without ever letting the ordering silently flip.
+func TestTable1WriteIncidenceOrdering(t *testing.T) {
+	ctx := getCtx(t)
+	inc := writeErrorIncidence(ctx)
+	a, b, d := inc[trace.MLCA], inc[trace.MLCB], inc[trace.MLCD]
+	t.Logf("write-error incidence: A=%.6f B=%.6f D=%.6f (paper %.6f/%.6f/%.6f)",
+		a, b, d, PaperTable1["write"][0], PaperTable1["write"][1], PaperTable1["write"][2])
+	if b <= 0 {
+		t.Fatal("MLC-B shows no write errors at all")
+	}
+	if b < 4*a || b < 4*d {
+		t.Errorf("MLC-B write incidence %.6f not dominant over A=%.6f D=%.6f (want ≥4x both)", b, a, d)
+	}
+	// The paper's reference row itself must have the shape we assert —
+	// guards against someone editing paperref.go inconsistently.
+	ref := PaperTable1["write"]
+	if !(ref[1] > ref[0] && ref[1] > ref[2]) {
+		t.Errorf("paper reference lost its B-dominant shape: %v", ref)
+	}
+}
+
+// TestTable3FailedFractionOrdering pins Table 3's %failed ordering:
+// MLC-B (14.3%) > MLC-D (12.5%) > MLC-A (6.95%). The shared 120-drive
+// fixture is too small to resolve the D-vs-A gap (~5 points, σ≈3%), so
+// the full ordering is checked on a dedicated 600-drives-per-model
+// fleet where the gap is ≈4σ; the shared fixture only has to keep
+// MLC-B on top. Absolute rates are simulation-calibrated, so ordering
+// plus a coarse magnitude band is asserted instead of point values.
+func TestTable3FailedFractionOrdering(t *testing.T) {
+	ctx := getCtx(t)
+	var small [trace.NumModels]float64
+	for _, m := range trace.Models {
+		n := len(ctx.ModelFleet[m].Drives)
+		if n == 0 {
+			t.Fatalf("model %v view is empty", m)
+		}
+		small[m] = float64(ctx.ModelAn[m].FailedDriveCount()) / float64(n)
+	}
+	if small[trace.MLCB] <= small[trace.MLCA] || small[trace.MLCB] <= small[trace.MLCD] {
+		t.Errorf("fixture %%failed: MLC-B %.4f not the maximum (A=%.4f D=%.4f)",
+			small[trace.MLCB], small[trace.MLCA], small[trace.MLCD])
+	}
+
+	if testing.Short() {
+		t.Skip("full-ordering fleet is slow")
+	}
+	fleet, _, err := fleetsim.Generate(fleetsim.DefaultConfig(4242, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := failure.Analyze(fleet)
+	var failed, total [trace.NumModels]float64
+	for i := range fleet.Drives {
+		m := fleet.Drives[i].Model
+		total[m]++
+		if len(an.PerDrive[i]) > 0 {
+			failed[m]++
+		}
+	}
+	var frac [trace.NumModels]float64
+	for m := range frac {
+		frac[m] = failed[m] / total[m]
+	}
+	a, b, d := frac[trace.MLCA], frac[trace.MLCB], frac[trace.MLCD]
+	t.Logf("%%failed (n=600/model): A=%.3f B=%.3f D=%.3f (paper %.4f/%.3f/%.3f)",
+		a, b, d, PaperTable3["MLC-A"].PctFail/100,
+		PaperTable3["MLC-B"].PctFail/100, PaperTable3["MLC-D"].PctFail/100)
+	if !(b > d && d > a) {
+		t.Errorf("%%failed ordering B > D > A violated: A=%.4f B=%.4f D=%.4f", a, b, d)
+	}
+	// Every model fails some but nowhere near all of its drives; the
+	// paper's fleet-wide rate is 11.3%, so a [1%, 40%] band is generous
+	// but still catches a broken failure model in either direction.
+	for _, m := range trace.Models {
+		if frac[m] < 0.01 || frac[m] > 0.40 {
+			t.Errorf("model %v %%failed = %.4f outside plausible band [0.01, 0.40]", m, frac[m])
+		}
+	}
+}
+
+// TestFigure6InfantMortality pins Figure 6's qualitative claim: failures
+// concentrate early in drive life (≈15% within 30 days, ≈25% within 90
+// days per the paper), far above what a uniform-in-lifetime hazard
+// would produce. With a 2190-day horizon, uniform failure ages would
+// put only 90/2190 ≈ 4.1% of failures inside the first 90 days; the
+// simulated fleet must show a clear multiple of that.
+func TestFigure6InfantMortality(t *testing.T) {
+	ctx := getCtx(t)
+	ages := ctx.An.FailureAges()
+	if len(ages) < 10 {
+		t.Fatalf("only %d failure ages; fixture too small to test shape", len(ages))
+	}
+	var w30, w90 int
+	for _, a := range ages {
+		if a <= 30 {
+			w30++
+		}
+		if a <= 90 {
+			w90++
+		}
+	}
+	f30 := float64(w30) / float64(len(ages))
+	f90 := float64(w90) / float64(len(ages))
+	t.Logf("failures within 30d: %.3f (paper %.2f), within 90d: %.3f (paper %.2f), n=%d",
+		f30, PaperFigure6.Within30, f90, PaperFigure6.Within90, len(ages))
+
+	uniform90 := 90 / float64(ctx.Fleet.Horizon)
+	if f90 < 3*uniform90 {
+		t.Errorf("within-90d failure share %.3f < 3x uniform baseline %.3f; infant mortality missing", f90, 3*uniform90)
+	}
+	// The early spike must also resemble the paper's scale: at least
+	// half its reported 90-day mass, and monotone (30d ≤ 90d share).
+	if f90 < PaperFigure6.Within90/2 {
+		t.Errorf("within-90d share %.3f below half the paper's %.2f", f90, PaperFigure6.Within90)
+	}
+	if f30 > f90 {
+		t.Errorf("within-30d share %.3f exceeds within-90d share %.3f", f30, f90)
+	}
+	if f30 <= 0 {
+		t.Error("no failures at all within the first 30 days")
+	}
+}

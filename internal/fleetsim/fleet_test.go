@@ -1,8 +1,11 @@
 package fleetsim
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"math"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"ssdfail/internal/trace"
@@ -58,6 +61,39 @@ func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if !reflect.DeepEqual(t1, t8) {
 		t.Error("truth differs between 1 and 8 workers")
+	}
+}
+
+// TestGenerateByteIdenticalAcrossGOMAXPROCS is the strongest form of
+// the determinism contract: the same seed must produce a byte-identical
+// serialized fleet whether the runtime schedules generation on one OS
+// thread or all of them. DeepEqual across Workers settings (above)
+// can't see scheduler-dependent effects inside the default worker pool;
+// hashing the wire bytes under different GOMAXPROCS can.
+func TestGenerateByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	generate := func(procs int) []byte {
+		t.Helper()
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		cfg := testConfig(1234, 25)
+		cfg.Workers = 0 // resolve to all CPUs, i.e. whatever GOMAXPROCS says
+		fleet, _, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate at GOMAXPROCS=%d: %v", procs, err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteBinary(&buf, fleet); err != nil {
+			t.Fatalf("WriteBinary at GOMAXPROCS=%d: %v", procs, err)
+		}
+		return buf.Bytes()
+	}
+
+	serial := generate(1)
+	parallel := generate(runtime.NumCPU())
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("serialized fleet differs across GOMAXPROCS: sha256 %x (1 proc, %d bytes) vs %x (%d procs, %d bytes)",
+			sha256.Sum256(serial), len(serial),
+			sha256.Sum256(parallel), runtime.NumCPU(), len(parallel))
 	}
 }
 

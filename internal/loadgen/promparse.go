@@ -1,0 +1,40 @@
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseMetrics parses a Prometheus text-format (0.0.4) exposition into a
+// flat map keyed by full series name — `name` or `name{label="v",...}` —
+// exactly the keying used by the daemon's own Metrics.Snapshot, so a
+// scraped view and an in-process view compare with plain map equality.
+// Comment and blank lines are skipped; any other unparseable line is an
+// error because conformance arithmetic on a half-read scrape would
+// produce false verdicts.
+func ParseMetrics(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("loadgen: unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: bad value in metrics line %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out, nil
+}
+
+// metricDelta returns final[series] - base[series], treating absent
+// series as zero (a counter that never fired is simply not exposed by
+// some registries; the daemon exposes created series only).
+func metricDelta(base, final map[string]float64, series string) float64 {
+	return final[series] - base[series]
+}

@@ -1,0 +1,43 @@
+package loadgen
+
+import "testing"
+
+func TestParseMetrics(t *testing.T) {
+	text := `# HELP x_total Things.
+# TYPE x_total counter
+x_total 41
+x_by{handler="ingest",code="200"} 7
+x_gauge 2.5
+x_big 1e+06
+
+`
+	m, err := ParseMetrics(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 4 {
+		t.Fatalf("parsed %d series, want 4: %v", len(m), m)
+	}
+	if m["x_total"] != 41 || m[`x_by{handler="ingest",code="200"}`] != 7 ||
+		m["x_gauge"] != 2.5 || m["x_big"] != 1e6 {
+		t.Fatalf("bad values: %v", m)
+	}
+
+	if _, err := ParseMetrics("not a metric line"); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	if _, err := ParseMetrics("x_total forty"); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+}
+
+func TestMetricDelta(t *testing.T) {
+	base := map[string]float64{"a": 10}
+	final := map[string]float64{"a": 15, "b": 3}
+	if d := metricDelta(base, final, "a"); d != 5 {
+		t.Fatalf("delta a = %v", d)
+	}
+	if d := metricDelta(base, final, "b"); d != 3 {
+		t.Fatalf("delta b = %v (absent baseline must read as zero)", d)
+	}
+}

@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Report is the machine-readable outcome of one run — the schema of
+// BENCH_serve.json. Latency fields are nanoseconds; the schedule hash
+// makes any two reports comparable: equal hashes mean the daemon was
+// driven with byte-identical request sequences.
+type Report struct {
+	Seed           uint64 `json:"seed"`
+	Mode           Mode   `json:"mode"`
+	Streams        int    `json:"streams"`
+	DrivesPerModel int    `json:"drives_per_model"`
+	Days           int32  `json:"days"`
+	BatchSize      int    `json:"batch_size"`
+	ScheduleSHA256 string `json:"schedule_sha256"`
+
+	ScheduledRequests int `json:"scheduled_requests"`
+	ScheduledRecords  int `json:"scheduled_records"`
+
+	WallSeconds     float64 `json:"wall_seconds"`
+	RequestsSent    uint64  `json:"requests_sent"`
+	RequestsPerSec  float64 `json:"requests_per_sec"`
+	RecordsPerSec   float64 `json:"records_per_sec"`
+	AcceptedRecords uint64  `json:"accepted_records"`
+	RejectedRecords uint64  `json:"rejected_records"`
+	DroppedRecords  uint64  `json:"dropped_records"`
+	ShedRequests    uint64  `json:"shed_requests"`
+	TransportErrors int     `json:"transport_errors"`
+
+	Reloads    int `json:"reloads"`
+	Watchlists int `json:"watchlists"`
+
+	// Endpoints maps handler name to its latency summary; Codes maps
+	// handler name to status-code counts (JSON keys must be strings).
+	Endpoints map[string]Quantiles         `json:"endpoints"`
+	Codes     map[string]map[string]uint64 `json:"codes"`
+
+	Conformance ConformanceReport `json:"conformance"`
+}
+
+// ConformanceReport summarizes the verification verdict.
+type ConformanceReport struct {
+	Checked    bool     `json:"checked"`
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+	// DrivesVerified is how many replayed drives had their end state
+	// checked against schedule ground truth.
+	DrivesVerified int `json:"drives_verified"`
+}
+
+// NewReport assembles the report from a finished run. Pass violations
+// (and checked=true) when Verify ran; a nil violations slice with
+// checked=true means a clean pass.
+func NewReport(res *Result, violations []string, checked bool) *Report {
+	cfg := res.Sched.Cfg
+	rep := &Report{
+		Seed:              cfg.Seed,
+		Mode:              cfg.Mode,
+		Streams:           cfg.Streams,
+		DrivesPerModel:    cfg.DrivesPerModel,
+		Days:              cfg.Days,
+		BatchSize:         cfg.BatchSize,
+		ScheduleSHA256:    res.Sched.Hash,
+		ScheduledRequests: res.Sched.TotalRequests,
+		ScheduledRecords:  res.Sched.TotalRecords,
+		WallSeconds:       res.Wall.Seconds(),
+		RequestsSent:      res.Requests,
+		AcceptedRecords:   res.AcceptedRecords,
+		RejectedRecords:   res.RejectedRecords,
+		DroppedRecords:    res.DroppedRecords,
+		TransportErrors:   len(res.TransportErrors),
+		Reloads:           len(res.Reloads),
+		Watchlists:        len(res.Watchlists),
+		Endpoints:         make(map[string]Quantiles),
+		Codes:             make(map[string]map[string]uint64),
+	}
+	if s := res.Wall.Seconds(); s > 0 {
+		rep.RequestsPerSec = float64(res.Requests) / s
+		rep.RecordsPerSec = float64(res.AcceptedRecords) / s
+	}
+	for name, h := range res.Hists {
+		rep.Endpoints[name] = h.Summary()
+	}
+	for handler, byCode := range res.Codes {
+		m := make(map[string]uint64, len(byCode))
+		for code, n := range byCode {
+			m[strconv.Itoa(code)] = n
+			if code == http.StatusTooManyRequests {
+				rep.ShedRequests += n
+			}
+		}
+		rep.Codes[handler] = m
+	}
+	rep.Conformance = ConformanceReport{
+		Checked:        checked,
+		Pass:           checked && len(violations) == 0,
+		Violations:     violations,
+		DrivesVerified: len(res.Sched.Drives),
+	}
+	return rep
+}
+
+// MarshalIndent renders the report as indented JSON, ready to write to
+// BENCH_serve.json.
+func (rep *Report) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -1,0 +1,159 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"ssdfail/internal/serve"
+)
+
+func testConfig(seed uint64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.DrivesPerModel = 6
+	cfg.HorizonDays = 120
+	cfg.Days = 10
+	cfg.Streams = 3
+	cfg.BatchSize = 8
+	return cfg
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(testConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(testConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != b.Hash {
+		t.Fatalf("same config, different hashes:\n%s\n%s", a.Hash, b.Hash)
+	}
+	if a.TotalRequests != b.TotalRequests || a.TotalRecords != b.TotalRecords {
+		t.Fatalf("same config, different totals: %d/%d vs %d/%d",
+			a.TotalRequests, a.TotalRecords, b.TotalRequests, b.TotalRecords)
+	}
+	// The hash covers bodies: spot-check full op equality too.
+	for s := range a.Streams {
+		if len(a.Streams[s].Ops) != len(b.Streams[s].Ops) {
+			t.Fatalf("stream %d: %d vs %d ops", s, len(a.Streams[s].Ops), len(b.Streams[s].Ops))
+		}
+		for i := range a.Streams[s].Ops {
+			oa, ob := &a.Streams[s].Ops[i], &b.Streams[s].Ops[i]
+			if oa.Kind != ob.Kind || oa.At != ob.At || oa.Path != ob.Path || string(oa.Body) != string(ob.Body) {
+				t.Fatalf("stream %d op %d differs", s, i)
+			}
+		}
+	}
+
+	c, err := Build(testConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash == a.Hash {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestBuildHashCoversArrivals(t *testing.T) {
+	closed, err := Build(testConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	openCfg := testConfig(42)
+	openCfg.Mode = ModeOpen
+	open, err := Build(openCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Hash == closed.Hash {
+		t.Fatal("open-loop arrival offsets did not change the schedule hash")
+	}
+	// Open-loop arrivals must be strictly positive and non-decreasing
+	// within each stream.
+	for s := range open.Streams {
+		var prev time.Duration
+		for i, op := range open.Streams[s].Ops {
+			if op.At <= prev {
+				t.Fatalf("stream %d op %d: arrival %v not after %v", s, i, op.At, prev)
+			}
+			prev = op.At
+		}
+	}
+}
+
+// TestBuildPreservesPerDriveOrder decodes every scheduled batch and
+// checks the property the daemon's store enforces: within a stream, a
+// drive's records appear in strictly increasing day order, and no drive
+// appears in more than one stream.
+func TestBuildPreservesPerDriveOrder(t *testing.T) {
+	sched, err := Build(testConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Drives) == 0 {
+		t.Fatal("schedule replays no drives")
+	}
+	owner := make(map[uint32]int)
+	lastDay := make(map[uint32]int32)
+	records := make(map[uint32]int)
+	reloads := 0
+	for s := range sched.Streams {
+		for _, op := range sched.Streams[s].Ops {
+			switch op.Kind {
+			case OpReload:
+				reloads++
+			case OpIngestBatch:
+				var batch []serve.IngestRecord
+				if err := json.Unmarshal(op.Body, &batch); err != nil {
+					t.Fatalf("stream %d: bad batch body: %v", s, err)
+				}
+				if len(batch) != op.Records {
+					t.Fatalf("op.Records = %d, body has %d", op.Records, len(batch))
+				}
+				for _, ir := range batch {
+					if prev, ok := owner[ir.DriveID]; ok && prev != s {
+						t.Fatalf("drive %d appears in streams %d and %d", ir.DriveID, prev, s)
+					}
+					owner[ir.DriveID] = s
+					if last, ok := lastDay[ir.DriveID]; ok && ir.Day <= last {
+						t.Fatalf("drive %d: day %d scheduled after day %d", ir.DriveID, ir.Day, last)
+					}
+					lastDay[ir.DriveID] = ir.Day
+					records[ir.DriveID]++
+				}
+			}
+		}
+	}
+	if reloads != sched.Reloads || reloads != 1 {
+		t.Fatalf("reload ops = %d, sched.Reloads = %d, want 1", reloads, sched.Reloads)
+	}
+	// The ground-truth table must agree with what was actually laid out.
+	for id, want := range sched.Drives {
+		if records[id] != want.Records {
+			t.Errorf("drive %d: %d records scheduled, expect table says %d", id, records[id], want.Records)
+		}
+		if lastDay[id] != want.LastDay {
+			t.Errorf("drive %d: last scheduled day %d, expect table says %d", id, lastDay[id], want.LastDay)
+		}
+	}
+	for id := range records {
+		if _, ok := sched.Drives[id]; !ok {
+			t.Errorf("drive %d scheduled but missing from expect table", id)
+		}
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Mode = "sideways"
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	cfg = testConfig(1)
+	cfg.HorizonDays = 89
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("sub-90-day horizon accepted")
+	}
+}

@@ -73,6 +73,12 @@ type Config struct {
 	// (defaults 200ms and 5s).
 	ModelRetryBase time.Duration
 	ModelRetryMax  time.Duration
+
+	// Clock overrides the server's time source (request-duration and
+	// scoring-latency observations, uptime and model-age gauges, model
+	// load timestamps). Nil means time.Now. Tests inject a deterministic
+	// clock so latency metrics are exact rather than merely plausible.
+	Clock func() time.Time
 }
 
 const (
@@ -91,6 +97,7 @@ type Server struct {
 	registry *Registry
 	scorer   *Scorer
 	metrics  *Metrics
+	now      func() time.Time
 	start    time.Time
 
 	ingestSem chan struct{}
@@ -132,16 +139,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = defaultRequestTimeout
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
 	s := &Server{
 		cfg:       cfg,
 		store:     NewStore(cfg.Shards, cfg.History),
 		registry:  NewRegistry(cfg.ModelPath),
 		scorer:    NewScorer(cfg.Workers),
 		metrics:   NewMetrics(),
-		start:     time.Now(),
+		now:       clock,
+		start:     clock(),
 		ingestSem: make(chan struct{}, cfg.MaxInflightIngest),
 		scoreSem:  make(chan struct{}, cfg.MaxInflightScores),
 	}
+	s.registry.now = clock
 	if err := s.loadModelWithRetry(); err != nil {
 		return nil, err
 	}
@@ -238,7 +251,7 @@ func New(cfg Config) (*Server, error) {
 			if !ok {
 				return 0
 			}
-			return time.Since(info.LoadedAt).Seconds()
+			return s.now().Sub(info.LoadedAt).Seconds()
 		})
 	m.NewGaugeFunc("ssdserved_model_loaded_timestamp_seconds",
 		"Unix time the serving model was loaded.",
@@ -251,7 +264,7 @@ func New(cfg Config) (*Server, error) {
 		})
 	m.NewGaugeFunc("ssdserved_uptime_seconds",
 		"Seconds since the daemon started.",
-		func() float64 { return time.Since(s.start).Seconds() })
+		func() float64 { return s.now().Sub(s.start).Seconds() })
 	return s, nil
 }
 
@@ -317,6 +330,13 @@ func (s *Server) Close() error {
 // instruments before mounting the handler.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// CounterSnapshot returns the current value of every metrics series,
+// keyed by full exposition name (see Metrics.Snapshot). Conformance
+// harnesses compare it — or the equivalent parsed /metrics scrape —
+// against independently tracked load: accepted + shed + rejected must
+// account for every request driven.
+func (s *Server) CounterSnapshot() map[string]float64 { return s.metrics.Snapshot() }
+
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -354,9 +374,9 @@ func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Reque
 			r = r.WithContext(ctx)
 		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		begin := time.Now()
+		begin := s.now()
 		h(sw, r)
-		s.reqDur.Observe(time.Since(begin).Seconds())
+		s.reqDur.Observe(s.now().Sub(begin).Seconds())
 		s.reqs.With(name, strconv.Itoa(sw.code)).Inc()
 	}
 }
@@ -567,10 +587,10 @@ func (s *Server) handleWatchlist(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	begin := time.Now()
+	begin := s.now()
 	units := s.store.ScoreUnits(int32(since))
 	scored := s.scorer.Score(pred, units)
-	s.scoreDur.Observe(time.Since(begin).Seconds())
+	s.scoreDur.Observe(s.now().Sub(begin).Seconds())
 	s.scoredDrives.Add(uint64(len(scored)))
 	if r.Context().Err() != nil {
 		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded during scoring")
@@ -672,7 +692,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_, info, ok := s.registry.Current()
 	resp := map[string]any{
 		"status":         "ok",
-		"uptime_seconds": time.Since(s.start).Seconds(),
+		"uptime_seconds": s.now().Sub(s.start).Seconds(),
 		"drives":         s.store.Len(),
 		"model_loaded":   ok,
 		"wal":            s.journal != nil,

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,11 @@ import (
 // the standard library: counters, gauges (incl. callback gauges),
 // histograms, and a labeled counter family. Instrument updates are
 // lock-free atomics; registration and scraping take the registry lock.
+//
+// Every family registers a collector that emits (series, value) samples;
+// the text exposition and the Snapshot accessor are two renderings of
+// the same sample stream, so a scrape and a programmatic snapshot can
+// never disagree about what a counter reads.
 
 // MetricsContentType is the Content-Type of the exposition format.
 const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
@@ -79,10 +85,15 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// emitFunc receives one sample: the full series name (metric name plus
+// any label set or _bucket/_sum/_count suffix, exactly as exposed in the
+// text format) and its current value.
+type emitFunc func(series string, v float64)
+
 // metric is one registered family.
 type metric struct {
 	name, help, typ string
-	write           func(w io.Writer, name string)
+	collect         func(emit emitFunc)
 }
 
 // Metrics is the registry handed to the scrape endpoint.
@@ -104,9 +115,7 @@ func (ms *Metrics) register(m *metric) {
 func (ms *Metrics) NewCounter(name, help string) *Counter {
 	c := &Counter{}
 	ms.register(&metric{name: name, help: help, typ: "counter",
-		write: func(w io.Writer, name string) {
-			fmt.Fprintf(w, "%s %d\n", name, c.Value())
-		}})
+		collect: func(emit emitFunc) { emit(name, float64(c.Value())) }})
 	return c
 }
 
@@ -114,27 +123,21 @@ func (ms *Metrics) NewCounter(name, help string) *Counter {
 // time, for monotone counts maintained elsewhere (e.g. WAL fsyncs).
 func (ms *Metrics) NewCounterFunc(name, help string, fn func() uint64) {
 	ms.register(&metric{name: name, help: help, typ: "counter",
-		write: func(w io.Writer, name string) {
-			fmt.Fprintf(w, "%s %d\n", name, fn())
-		}})
+		collect: func(emit emitFunc) { emit(name, float64(fn())) }})
 }
 
 // NewGauge registers and returns a settable gauge.
 func (ms *Metrics) NewGauge(name, help string) *Gauge {
 	g := &Gauge{}
 	ms.register(&metric{name: name, help: help, typ: "gauge",
-		write: func(w io.Writer, name string) {
-			fmt.Fprintf(w, "%s %v\n", name, g.Value())
-		}})
+		collect: func(emit emitFunc) { emit(name, g.Value()) }})
 	return g
 }
 
 // NewGaugeFunc registers a gauge whose value is computed at scrape time.
 func (ms *Metrics) NewGaugeFunc(name, help string, fn func() float64) {
 	ms.register(&metric{name: name, help: help, typ: "gauge",
-		write: func(w io.Writer, name string) {
-			fmt.Fprintf(w, "%s %v\n", name, fn())
-		}})
+		collect: func(emit emitFunc) { emit(name, fn()) }})
 }
 
 // NewHistogram registers and returns a histogram with the given upper
@@ -142,15 +145,15 @@ func (ms *Metrics) NewGaugeFunc(name, help string, fn func() float64) {
 func (ms *Metrics) NewHistogram(name, help string, bounds []float64) *Histogram {
 	h := newHistogram(bounds)
 	ms.register(&metric{name: name, help: help, typ: "histogram",
-		write: func(w io.Writer, name string) {
+		collect: func(emit emitFunc) {
 			var cum uint64
 			for i, b := range h.bounds {
 				cum += h.counts[i].Load()
-				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+				emit(fmt.Sprintf("%s_bucket{le=%q}", name, formatBound(b)), float64(cum))
 			}
-			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
-			fmt.Fprintf(w, "%s_sum %v\n", name, h.Sum())
-			fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+			emit(name+`_bucket{le="+Inf"}`, float64(h.Count()))
+			emit(name+"_sum", h.Sum())
+			emit(name+"_count", float64(h.Count()))
 		}})
 	return h
 }
@@ -173,11 +176,11 @@ type CounterVec struct {
 func (ms *Metrics) NewCounterVec(name, help string, labels ...string) *CounterVec {
 	cv := &CounterVec{labels: labels, series: make(map[string]*Counter)}
 	ms.register(&metric{name: name, help: help, typ: "counter",
-		write: func(w io.Writer, name string) {
+		collect: func(emit emitFunc) {
 			cv.mu.Lock()
 			defer cv.mu.Unlock()
 			for _, key := range cv.order {
-				fmt.Fprintf(w, "%s%s %d\n", name, key, cv.series[key].Value())
+				emit(name+key, float64(cv.series[key].Value()))
 			}
 		}})
 	return cv
@@ -217,17 +220,52 @@ func escapeLabel(v string) string {
 	return v
 }
 
+// snapshotLocked copies the family list under the registry lock.
+func (ms *Metrics) families() []*metric {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return append([]*metric(nil), ms.metrics...)
+}
+
+// Snapshot returns the current value of every series, keyed by its full
+// exposition name — including label sets and histogram suffixes, e.g.
+//
+//	ssdserved_ingest_records_total
+//	ssdserved_load_shed_total{handler="ingest"}
+//	ssdserved_http_request_duration_seconds_count
+//
+// It reads through the same collectors as the text exposition, so a
+// snapshot and a scrape taken on a quiesced server agree exactly. Tests
+// and conformance harnesses use it to check counters against externally
+// driven load without parsing text.
+func (ms *Metrics) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, m := range ms.families() {
+		m.collect(func(series string, v float64) { out[series] = v })
+	}
+	return out
+}
+
+// formatValue renders a sample: integral values (counters, bucket
+// counts) as plain decimal integers, everything else via the shortest
+// round-trip float form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1<<53 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
 // WriteTo writes the exposition text for every registered family in
 // registration order.
 func (ms *Metrics) WriteTo(w io.Writer) (int64, error) {
-	ms.mu.Lock()
-	metrics := append([]*metric(nil), ms.metrics...)
-	ms.mu.Unlock()
 	cw := &countingWriter{w: bufio.NewWriter(w)}
-	for _, m := range metrics {
+	for _, m := range ms.families() {
 		fmt.Fprintf(cw, "# HELP %s %s\n", m.name, m.help)
 		fmt.Fprintf(cw, "# TYPE %s %s\n", m.name, m.typ)
-		m.write(cw, m.name)
+		m.collect(func(series string, v float64) {
+			fmt.Fprintf(cw, "%s %s\n", series, formatValue(v))
+		})
 	}
 	err := cw.w.(*bufio.Writer).Flush()
 	return cw.n, err

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -74,6 +75,53 @@ func TestHistogramBuckets(t *testing.T) {
 	h2.Observe(1)
 	if got := h2.counts[0].Load(); got != 1 {
 		t.Fatalf("boundary observation fell in bucket %v", h2.counts)
+	}
+}
+
+// TestMetricsSnapshotMatchesExposition checks that Snapshot and the text
+// exposition are two views of the same samples: every series in the
+// scrape appears in the snapshot with the same value, and vice versa.
+func TestMetricsSnapshotMatchesExposition(t *testing.T) {
+	m := NewMetrics()
+	m.NewCounter("snap_ops_total", "Ops.").Add(41)
+	m.NewGauge("snap_level", "Level.").Set(2.25)
+	m.NewGaugeFunc("snap_func", "Computed.", func() float64 { return 1e6 })
+	cv := m.NewCounterVec("snap_reqs_total", "Reqs.", "handler")
+	cv.With("ingest").Add(7)
+	h := m.NewHistogram("snap_lat_seconds", "Lat.", []float64{0.5, 5})
+	h.Observe(0.1)
+	h.Observe(1)
+
+	var sb strings.Builder
+	if _, err := m.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exposed := map[string]float64{}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable exposition line %q: %v", line, err)
+		}
+		exposed[line[:sp]] = v
+	}
+	snap := m.Snapshot()
+	if len(snap) != len(exposed) {
+		t.Fatalf("snapshot has %d series, exposition %d", len(snap), len(exposed))
+	}
+	for name, v := range exposed {
+		if sv, ok := snap[name]; !ok || sv != v {
+			t.Errorf("series %s: snapshot %v, exposition %v (present %v)", name, sv, v, ok)
+		}
+	}
+	if snap["snap_ops_total"] != 41 || snap[`snap_reqs_total{handler="ingest"}`] != 7 {
+		t.Errorf("unexpected counter values in %v", snap)
+	}
+	if snap[`snap_lat_seconds_bucket{le="0.5"}`] != 1 || snap["snap_lat_seconds_count"] != 2 {
+		t.Errorf("unexpected histogram samples in %v", snap)
 	}
 }
 

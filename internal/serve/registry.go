@@ -36,13 +36,14 @@ type modelEntry struct {
 // concurrent reload requests cannot interleave version numbers.
 type Registry struct {
 	path string
-	mu   sync.Mutex // serializes Load
+	now  func() time.Time // LoadedAt stamps; tests inject a fixed clock
+	mu   sync.Mutex       // serializes Load
 	cur  atomic.Pointer[modelEntry]
 }
 
 // NewRegistry points a registry at a predictor file written by
 // core.Predictor.Save. Nothing is loaded until Load is called.
-func NewRegistry(path string) *Registry { return &Registry{path: path} }
+func NewRegistry(path string) *Registry { return &Registry{path: path, now: time.Now} }
 
 // Load reads, validates, and atomically publishes the predictor file.
 // On any error the previously published model keeps serving. The new
@@ -74,7 +75,7 @@ func (r *Registry) Load() (ModelInfo, error) {
 		Path:         r.path,
 		SHA256:       hex.EncodeToString(sum[:]),
 		SizeBytes:    len(data),
-		LoadedAt:     time.Now(),
+		LoadedAt:     r.now(),
 		ModelName:    pred.ModelName(),
 		Lookahead:    pred.Lookahead,
 		FeatureWidth: pred.FeatureWidth(),

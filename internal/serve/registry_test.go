@@ -5,8 +5,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"ssdfail/internal/core"
 	"ssdfail/internal/dataset"
 	"ssdfail/internal/fleetsim"
 	"ssdfail/internal/ml/forest"
@@ -76,6 +79,124 @@ func TestRegistryFailedLoadKeepsOldModel(t *testing.T) {
 	}
 	if _, err := r.Load(); err == nil {
 		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// TestHotSwapNeverMixesModelsInABatch hammers concurrent hot reloads
+// against in-flight batch scoring and asserts the core swap invariant at
+// per-unit granularity (via the scorer's observe hook): every unit of a
+// batch is scored by the exact predictor grabbed from the registry when
+// the batch began — a reload landing mid-batch must never leak its new
+// model into units already in flight. It also checks that the
+// (predictor, version) pairing is never torn: one version, one pointer.
+// Run under -race this doubles as a data-race probe on the whole
+// registry/scorer path.
+func TestHotSwapNeverMixesModelsInABatch(t *testing.T) {
+	reg := NewRegistry(fixModelPath)
+	if _, err := reg.Load(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A small but real scoring workload from the fixture fleet.
+	var units []ScoreUnit
+	for i := range fixFleet.Drives {
+		d := &fixFleet.Drives[i]
+		n := len(d.Days)
+		if n == 0 {
+			continue
+		}
+		u := ScoreUnit{ID: d.ID, Model: d.Model, Last: d.Days[n-1]}
+		if n > 1 {
+			u.Prev = d.Days[n-2]
+			u.HasPrev = true
+		}
+		units = append(units, u)
+		if len(units) == 64 {
+			break
+		}
+	}
+	if len(units) < 16 {
+		t.Fatalf("fixture yielded only %d scoreable units", len(units))
+	}
+
+	// Version→predictor pairing, observed from all goroutines.
+	var pairs sync.Map // version int -> *core.Predictor
+	checkPair := func(version int, pred *core.Predictor) {
+		if prior, loaded := pairs.LoadOrStore(version, pred); loaded && prior.(*core.Predictor) != pred {
+			t.Errorf("version %d paired with two predictor pointers", version)
+		}
+	}
+
+	const (
+		scorers = 4
+		batches = 40
+		reloads = 100
+	)
+	var mixed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Reloader: swap the model as fast as it will go.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < reloads; i++ {
+			info, err := reg.Load()
+			if err != nil {
+				t.Errorf("reload %d: %v", i, err)
+				return
+			}
+			pred, info2, ok := reg.Current()
+			if ok && info2.Version == info.Version {
+				checkPair(info2.Version, pred)
+			}
+		}
+	}()
+
+	for g := 0; g < scorers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := NewScorer(4)
+			lastVersion := 0
+			for b := 0; b < batches; b++ {
+				pred, info, ok := reg.Current()
+				if !ok {
+					t.Error("registry empty mid-run")
+					return
+				}
+				if info.Version < lastVersion {
+					t.Errorf("version went backwards: %d after %d", info.Version, lastVersion)
+				}
+				lastVersion = info.Version
+				checkPair(info.Version, pred)
+				// The batch must be scored by pred and nothing else, no
+				// matter how many reloads land while it runs.
+				sc.observe = func(p *core.Predictor, unit int) {
+					if p != pred {
+						mixed.Add(1)
+					}
+				}
+				out := sc.Score(pred, units)
+				if len(out) != len(units) {
+					t.Errorf("batch returned %d of %d units", len(out), len(units))
+				}
+				select {
+				case <-stop:
+					// Keep scoring while reloads are in flight; once the
+					// reloader is done a couple more batches suffice.
+					if b > batches/2 {
+						return
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := mixed.Load(); n != 0 {
+		t.Fatalf("%d units scored by a different model than their batch grabbed", n)
 	}
 }
 

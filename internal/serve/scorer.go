@@ -25,6 +25,13 @@ type Scored struct {
 type Scorer struct {
 	workers int
 	scratch sync.Pool // *dataset.Matrix
+
+	// observe, when set (tests only, same package), is called for every
+	// unit scored with the predictor actually used. The hot-swap
+	// concurrency test uses it to prove that no batch ever mixes two
+	// models: within one Score call every unit must report the same
+	// predictor pointer, no matter how many reloads land mid-batch.
+	observe func(p *core.Predictor, unit int)
 }
 
 // NewScorer builds a scorer with the given worker count (<= 0 means all
@@ -50,6 +57,9 @@ func (sc *Scorer) Score(p *core.Predictor, units []ScoreUnit) []Scored {
 		}
 		score := p.ScoreInto(m, &u.Last, prev)
 		sc.scratch.Put(m)
+		if sc.observe != nil {
+			sc.observe(p, i)
+		}
 		out[i] = Scored{ID: u.ID, Model: u.Model, Score: score, Day: u.Last.Day, Age: u.Last.Age}
 	})
 	return out

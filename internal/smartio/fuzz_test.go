@@ -1,0 +1,105 @@
+package smartio
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fuzzHeader exposes every mapped SMART column, so fuzzed rows can reach
+// each conversion path in buildDrive.
+const fuzzHeader = "date,serial_number,model,failure," +
+	"smart_9_raw,smart_5_raw,smart_187_raw,smart_188_raw,smart_197_raw," +
+	"smart_241_raw,smart_242_raw,smart_173_raw,smart_181_raw,smart_182_raw,smart_199_raw"
+
+// checkImport runs one import and enforces the properties fuzzing
+// guards: no panic (implicit), errors are typed, and any fleet that
+// comes back satisfies every trace invariant.
+func checkImport(t *testing.T, input string, skipBad bool) {
+	t.Helper()
+	fleet, sum, err := ReadCSVSummary(strings.NewReader(input), Options{SkipBadRows: skipBad})
+	if err != nil {
+		var pe *ParseError
+		if errors.As(err, &pe) {
+			if skipBad {
+				t.Fatalf("ParseError despite SkipBadRows: %v", pe)
+			}
+			if pe.BadRows <= 0 || len(pe.First) == 0 || len(pe.First) > maxBadRowDetail {
+				t.Fatalf("malformed ParseError: %+v", pe)
+			}
+		}
+		return
+	}
+	if fleet == nil {
+		t.Fatal("nil fleet with nil error")
+	}
+	if err := fleet.Validate(); err != nil {
+		t.Fatalf("import returned invalid fleet: %v\ninput:\n%s", err, input)
+	}
+	if sum.Drives != len(fleet.Drives) {
+		t.Fatalf("summary drives %d, fleet has %d", sum.Drives, len(fleet.Drives))
+	}
+	if fleet.DriveDays() > sum.Rows {
+		t.Fatalf("fleet has %d drive-days from %d rows", fleet.DriveDays(), sum.Rows)
+	}
+	for i := range fleet.Drives {
+		for _, rec := range fleet.Drives[i].Days {
+			for k := range rec.Errors {
+				if uint64(rec.Errors[k]) > rec.CumErrors[k] {
+					t.Fatalf("drive %d: daily error %d exceeds cumulative %d",
+						fleet.Drives[i].ID, rec.Errors[k], rec.CumErrors[k])
+				}
+			}
+		}
+	}
+}
+
+// FuzzParseRecord fuzzes a single data row under a fixed header: the
+// per-record parse and conversion path (dates, counters, every SMART
+// attribute column, including non-finite and out-of-range values).
+func FuzzParseRecord(f *testing.F) {
+	// The corrupt-row corpus from the structured-ParseError tests, plus
+	// healthy rows and adversarial SMART values.
+	for _, row := range []string{
+		"2023-01-01,A,M,0,24,0,0,0,0,100,100,1,0,0,0",
+		"nope,BAD,M,0",
+		"2023-01-02,,M,0",
+		"garbage-row-with,no,date,0",
+		"2023-01-01,A,M,1,24,5,9,0,3,210,200,2,1,1,4",
+		"2023-01-01,A,M,0,NaN,Inf,-Inf,-5,1e308,9e18,1e300,-0,Infinity,nan,+Inf",
+		"2023-01-01,A,M,0,9007199254740993,18446744073709551615,4294967296,99999999999,1,1,1,1,1,1,1",
+		"2023-01-01,A,M,0,1e15,,,,,,,,,,",
+		"9999-12-31,Z,M,0,1,1,1,1,1,1,1,1,1,1,1",
+		"2023-01-01,A,M,2,x,y,z,,,,,,,,",
+	} {
+		f.Add(row)
+	}
+	f.Fuzz(func(t *testing.T, row string) {
+		input := fuzzHeader + "\n" + row + "\n"
+		checkImport(t, input, false)
+		checkImport(t, input, true)
+	})
+}
+
+// FuzzParseCSV fuzzes whole documents: header handling, multi-row
+// multi-drive accumulation, day dedup, and cross-row monotone clamping.
+func FuzzParseCSV(f *testing.F) {
+	f.Add("date,serial_number,model,failure\n2023-01-01,A,M,0\n")
+	f.Add("date,serial_number,model,failure\nnope,BAD,M,0\n2023-01-02,,M,0\n")
+	f.Add("date,serial_number,model,failure\ngarbage-row-with,no,date,0\n2023-01-03,B,M,1\n")
+	f.Add(fuzzHeader + "\n" +
+		"2023-01-01,A,M,0,24,0,0,0,0,100,100,1,0,0,0\n" +
+		"2023-01-02,A,M,0,48,0,3,0,0,200,150,1,0,0,0\n" +
+		"2023-01-02,A,M,0,48,0,2,0,0,190,150,1,0,0,0\n" + // same-day dedup
+		"2023-01-03,A,M,1,72,1,9,1,0,210,160,2,1,0,1\n")
+	f.Add(fuzzHeader + "\n" +
+		"2023-01-01,A,M,0,1,1e300,NaN,-1,Inf,5e17,1,1,1,1,1\n" +
+		"2023-01-02,A,M,0,1,0,0,0,0,1,1,1,1,1,1\n") // SMART reset after junk
+	f.Add("serial_number,model,failure\n1,2,3\n") // missing required column
+	f.Add("")
+	f.Add("date,serial_number,model,failure")
+	f.Fuzz(func(t *testing.T, doc string) {
+		checkImport(t, doc, false)
+		checkImport(t, doc, true)
+	})
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -81,6 +82,13 @@ type Options struct {
 // maxBadRowDetail bounds how many rejected rows are itemized in a
 // ParseError or Summary; the total is always counted.
 const maxBadRowDetail = 8
+
+// maxSMARTValue caps parsed SMART attribute values at 2^53: large
+// enough for any real counter (an exabyte of LBAs), exactly
+// representable as a float64, and safely inside every integer type the
+// importer converts into — so conversions are exact and identical on
+// every architecture.
+const maxSMARTValue = 1 << 53
 
 // RowError locates one rejected CSV data row.
 type RowError struct {
@@ -278,8 +286,16 @@ func ReadCSVSummary(r io.Reader, o Options) (*trace.Fleet, Summary, error) {
 				continue
 			}
 			v, err := strconv.ParseFloat(s, 64)
-			if err != nil {
-				continue // tolerate junk in SMART columns, as real exports require
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				// Tolerate junk in SMART columns, as real exports require.
+				// Non-finite and negative values are junk too: a raw SMART
+				// counter is a non-negative integer, and letting NaN or a
+				// negative through would reach float→uint conversions whose
+				// out-of-range behavior differs across architectures.
+				continue
+			}
+			if v > maxSMARTValue {
+				v = maxSMARTValue
 			}
 			rec.vals[f] = v
 			rec.has[f] = true
@@ -336,10 +352,17 @@ func buildDrive(serial, model string, rows []row, minDate int32, o Options) trac
 
 	firstDay := rows[0].day
 	// Prefer power-on hours for the age origin when present: a drive
-	// may enter the dataset mid-life.
+	// may enter the dataset mid-life. A century is already absurd for a
+	// drive age; capping there keeps the later int32 day arithmetic far
+	// from overflow no matter what the column claimed.
+	const maxAgeOffsetDays = 36500
 	ageOffset := int32(0)
 	if rows[0].has[fPOH] {
-		ageOffset = int32(rows[0].vals[fPOH] / 24)
+		if days := rows[0].vals[fPOH] / 24; days > maxAgeOffsetDays {
+			ageOffset = maxAgeOffsetDays
+		} else {
+			ageOffset = int32(days)
+		}
 	}
 
 	var prev *row
@@ -370,13 +393,17 @@ func buildDrive(serial, model string, rows []row, minDate int32, o Options) trac
 			rec.PECycles = cumW / o.WritesPerPECycle
 		}
 		grown := monotone(rw, prev, fRealloc) + monotone(rw, prev, fPending)
-		rec.GrownBadBlocks = uint32(grown)
+		rec.GrownBadBlocks = satU32(grown)
 
 		setCum := func(kind trace.ErrorKind, field int) {
 			cum := monotone(rw, prev, field)
 			rec.CumErrors[kind] = uint64(cum)
 			if prevRec != nil {
-				rec.Errors[kind] = uint32(delta(rec.CumErrors[kind], prevRec.CumErrors[kind]))
+				d := delta(rec.CumErrors[kind], prevRec.CumErrors[kind])
+				if d > math.MaxUint32 {
+					d = math.MaxUint32
+				}
+				rec.Errors[kind] = uint32(d)
 			}
 		}
 		setCum(trace.ErrUncorrectable, fUncorr)
@@ -427,6 +454,15 @@ func monotone(rw, prev *row, field int) float64 {
 		rw.vals[field] = v
 	}
 	return v
+}
+
+// satU32 converts a sanitized (finite, non-negative) float to uint32,
+// saturating instead of relying on out-of-range conversion behavior.
+func satU32(v float64) uint32 {
+	if v >= math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v)
 }
 
 // delta returns a-b clamped at 0 for unsigned counters.
