@@ -20,6 +20,7 @@ import (
 	"ssdfail/internal/dataset"
 	"ssdfail/internal/eval"
 	"ssdfail/internal/experiments"
+	"ssdfail/internal/expgrid"
 	"ssdfail/internal/failure"
 	"ssdfail/internal/fleetsim"
 	"ssdfail/internal/ml/forest"
@@ -528,6 +529,76 @@ func BenchmarkFigure16FeatureImportance(b *testing.B) {
 		if len(tbl.Rows) != 10 {
 			b.Fatal("incomplete")
 		}
+	}
+}
+
+// gridBenchScale reads SSDFAIL_GRID_DRIVES (drives per model for the
+// experiment-grid benchmark; default 600, the paper-scale target the
+// speedup acceptance criterion is measured at).
+func gridBenchScale() int {
+	if v := os.Getenv("SSDFAIL_GRID_DRIVES"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 600
+}
+
+// BenchmarkExperimentGrid runs the Table 6 grid (six classifiers,
+// N in {1, 7}, 5 folds) through the expgrid engine at 1, 2, and 4
+// workers, verifies the AUC tables are byte-identical across worker
+// counts, and writes the BENCH_train.json report with per-worker-count
+// wall times, throughput, cache statistics, and speedups.
+func BenchmarkExperimentGrid(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = 42
+	cfg.DrivesPerModel = gridBenchScale()
+	cfg.CVFolds = 5
+	cfg.ForestTrees = 50
+	cfg.TestNegSampleProb = 0.2
+	ctx, err := experiments.NewContext(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := ctx.GridSpec(1, 7)
+	var (
+		runs     []expgrid.BenchRun
+		baseline []byte
+		same     = true
+	)
+	for _, w := range []int{1, 2, 4} {
+		s := spec
+		s.Workers = w
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			var last *expgrid.Result
+			for i := 0; i < b.N; i++ {
+				res, err := expgrid.Run(s)
+				if err == nil {
+					err = res.Err()
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Stats.TasksPerSec, "tasks/s")
+			b.ReportMetric(last.Stats.CacheHitRate, "cache-hit-rate")
+			tbl := last.AUCTable()
+			if baseline == nil {
+				baseline = tbl
+			} else if !bytes.Equal(baseline, tbl) {
+				same = false
+				b.Errorf("workers=%d produced a different AUC table than workers=1", w)
+			}
+			runs = append(runs, expgrid.BenchRun{Stats: last.Stats})
+		})
+	}
+	if len(runs) == 3 {
+		rep := experiments.TrainBenchReport(ctx, &spec, runs, same)
+		if err := rep.WriteFile("BENCH_train.json"); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("BENCH_train.json written: aucs_identical=%v", same)
 	}
 }
 

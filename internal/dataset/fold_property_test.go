@@ -1,0 +1,174 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestFoldsPropertyDisjointCover checks, over randomized (nDrives, k,
+// seed) triples, the invariants that make drive-partitioned CV valid:
+// every drive lands in exactly one fold, every fold index is in range,
+// and fold sizes are balanced to within one drive.
+func TestFoldsPropertyDisjointCover(t *testing.T) {
+	prop := func(nDrives16 uint16, k8 uint8, seed uint64) bool {
+		nDrives := int(nDrives16%500) + 1
+		k := int(k8%10) + 2
+		folds := Folds(nDrives, k, seed)
+		if len(folds) != nDrives {
+			t.Logf("len(folds) = %d, want %d", len(folds), nDrives)
+			return false
+		}
+		counts := make([]int, k)
+		for di, f := range folds {
+			if f < 0 || f >= k {
+				t.Logf("drive %d assigned out-of-range fold %d (k=%d)", di, f, k)
+				return false
+			}
+			counts[f]++
+		}
+		// Sizes covering all drives (each drive appears once by
+		// construction of the slice) must differ by at most one.
+		lo, hi := nDrives, 0
+		for _, c := range counts {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > 1 {
+			t.Logf("unbalanced folds: sizes %v", counts)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFoldsPropertyDeterministic checks that the assignment is a pure
+// function of (nDrives, k, seed) and that different seeds actually
+// shuffle (for any non-trivial fleet).
+func TestFoldsPropertyDeterministic(t *testing.T) {
+	prop := func(nDrives16 uint16, k8 uint8, seed uint64) bool {
+		nDrives := int(nDrives16%500) + 20
+		k := int(k8%8) + 2
+		a := Folds(nDrives, k, seed)
+		b := Folds(nDrives, k, seed)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	// Distinct seeds should give distinct permutations almost surely.
+	a, b := Folds(200, 5, 1), Folds(200, 5, 2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical fold assignments for 200 drives")
+	}
+}
+
+// propertyMatrix builds a synthetic matrix with nRows rows over nDrives
+// drives, labelling a row positive when its hash-like mix of inputs
+// crosses posFrac.
+func propertyMatrix(nRows, nDrives int, posFrac float64, seed uint64) *Matrix {
+	m := &Matrix{Width: 2}
+	state := seed | 1
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / (1 << 53)
+	}
+	for i := 0; i < nRows; i++ {
+		m.X = append(m.X, next(), next())
+		var y int8
+		if next() < posFrac {
+			y = 1
+		}
+		m.Y = append(m.Y, y)
+		m.DriveIdx = append(m.DriveIdx, int32(i%nDrives))
+		m.Day = append(m.Day, int32(i))
+		m.Age = append(m.Age, int32(i/nDrives))
+	}
+	return m
+}
+
+// TestDownsamplePropertyPreservesPositives checks the paper's 1:1
+// downsampling invariants over randomized matrices: every positive row
+// survives, negatives only ever shrink, and the achieved ratio is close
+// to the requested one.
+func TestDownsamplePropertyPreservesPositives(t *testing.T) {
+	prop := func(nRows16 uint16, posFrac8 uint8, seed uint64) bool {
+		nRows := int(nRows16%4000) + 500
+		posFrac := 0.01 + float64(posFrac8%40)/100 // 1%–40% positives
+		m := propertyMatrix(nRows, 50, posFrac, seed)
+		pos, neg := m.Positives(), m.Len()-m.Positives()
+		out := Downsample(m, 1, seed)
+		outPos, outNeg := out.Positives(), out.Len()-out.Positives()
+		if outPos != pos {
+			t.Logf("downsampling dropped positives: %d -> %d", pos, outPos)
+			return false
+		}
+		if outNeg > neg {
+			t.Logf("downsampling grew negatives: %d -> %d", neg, outNeg)
+			return false
+		}
+		if pos >= neg {
+			// Requested ratio unreachable: matrix must pass through whole.
+			return out.Len() == m.Len()
+		}
+		// Binomial sampling: allow five standard deviations around the
+		// requested 1:1 count.
+		p := float64(pos) / float64(neg)
+		slack := 5*math.Sqrt(float64(neg)*p*(1-p)) + 1
+		if math.Abs(float64(outNeg)-float64(pos)) > slack {
+			t.Logf("ratio off: %d positives vs %d sampled negatives (slack %.0f)", pos, outNeg, slack)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDownsamplePropertyRowIntegrity checks that surviving rows are
+// verbatim copies (features and provenance) of input rows, in input
+// order — downsampling must never rewrite or reorder data.
+func TestDownsamplePropertyRowIntegrity(t *testing.T) {
+	m := propertyMatrix(3000, 40, 0.05, 99)
+	out := Downsample(m, 1, 7)
+	src := 0
+	for i := 0; i < out.Len(); i++ {
+		// Find the next input row matching this output row's provenance.
+		for src < m.Len() && !(m.DriveIdx[src] == out.DriveIdx[i] && m.Day[src] == out.Day[i]) {
+			src++
+		}
+		if src == m.Len() {
+			t.Fatalf("output row %d has no matching input row in order", i)
+		}
+		if m.Y[src] != out.Y[i] || m.Age[src] != out.Age[i] {
+			t.Fatalf("output row %d mutated labels/provenance", i)
+		}
+		a, b := m.Row(src), out.Row(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("output row %d mutated feature %d", i, j)
+			}
+		}
+		src++
+	}
+}

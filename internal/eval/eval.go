@@ -129,29 +129,68 @@ func (r *ROC) TPRAtFPR(fpr float64) float64 {
 // ConfusionAt returns (TPR, FPR) for binary predictions at the given
 // score threshold: predicted positive when score >= threshold.
 func ConfusionAt(scores []float64, y []int8, threshold float64) (tpr, fpr float64) {
-	var tp, fn, fp, tn float64
-	for i, s := range scores {
-		if y[i] == 1 {
-			if s >= threshold {
-				tp++
-			} else {
-				fn++
-			}
+	c := ConfusionSweep(scores, y, []float64{threshold})[0]
+	return c.TPR, c.FPR
+}
+
+// Confusion is the binary confusion summary at one score threshold.
+type Confusion struct {
+	Threshold float64
+	TPR, FPR  float64
+}
+
+// ConfusionSweep evaluates the confusion at every threshold in one
+// sorted pass: the class totals are counted once and the score array is
+// walked once, instead of the O(len(thresholds) * n) rescan that calling
+// ConfusionAt in a loop used to cost. Results are returned in the
+// caller's threshold order.
+func ConfusionSweep(scores []float64, y []int8, thresholds []float64) []Confusion {
+	out := make([]Confusion, len(thresholds))
+	if len(thresholds) == 0 {
+		return out
+	}
+	var nPos, nNeg float64
+	for _, v := range y {
+		if v == 1 {
+			nPos++
 		} else {
-			if s >= threshold {
-				fp++
-			} else {
-				tn++
-			}
+			nNeg++
 		}
 	}
-	if tp+fn > 0 {
-		tpr = tp / (tp + fn)
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
 	}
-	if fp+tn > 0 {
-		fpr = fp / (fp + tn)
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	// Visit thresholds from strictest (highest) to loosest so the score
+	// walk never rewinds.
+	order := make([]int, len(thresholds))
+	for i := range order {
+		order[i] = i
 	}
-	return tpr, fpr
+	sort.Slice(order, func(a, b int) bool { return thresholds[order[a]] > thresholds[order[b]] })
+	var tp, fp float64
+	j := 0
+	for _, ti := range order {
+		thr := thresholds[ti]
+		for j < len(idx) && scores[idx[j]] >= thr {
+			if y[idx[j]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		c := Confusion{Threshold: thr}
+		if nPos > 0 {
+			c.TPR = tp / nPos
+		}
+		if nNeg > 0 {
+			c.FPR = fp / nNeg
+		}
+		out[ti] = c
+	}
+	return out
 }
 
 // Result summarizes one cross-validated evaluation.
@@ -160,6 +199,10 @@ type Result struct {
 	Mean float64
 	Std  float64 // standard deviation across folds, as reported in Table 6
 }
+
+// Summarize folds per-fold AUCs into a Result (mean ± sample std), the
+// aggregation used by every CV table. Exported for the expgrid engine.
+func Summarize(aucs []float64) Result { return summarize(aucs) }
 
 func summarize(aucs []float64) Result {
 	r := Result{AUCs: aucs}
@@ -326,7 +369,18 @@ func GridSearch(f *trace.Fleet, an *failure.Analysis, opts CVOptions, grid []Gri
 // scores, y, ages must be parallel slices; months with no positives are
 // NaN.
 func TPRByAgeMonth(scores []float64, y []int8, ages []int32, threshold float64, maxMonths int) []float64 {
-	tp := make([]float64, maxMonths)
+	return TPRByAgeMonths(scores, y, ages, []float64{threshold}, maxMonths)[0]
+}
+
+// TPRByAgeMonths computes one TPR-by-age curve per threshold in a single
+// pass over the scores: the per-month positive totals are counted once
+// for all thresholds, instead of once per threshold as the old
+// per-threshold loop did (Figure 14 sweeps three).
+func TPRByAgeMonths(scores []float64, y []int8, ages []int32, thresholds []float64, maxMonths int) [][]float64 {
+	tp := make([][]float64, len(thresholds))
+	for ti := range tp {
+		tp[ti] = make([]float64, maxMonths)
+	}
 	pos := make([]float64, maxMonths)
 	for i, s := range scores {
 		if y[i] != 1 {
@@ -337,16 +391,21 @@ func TPRByAgeMonth(scores []float64, y []int8, ages []int32, threshold float64, 
 			m = maxMonths - 1
 		}
 		pos[m]++
-		if s >= threshold {
-			tp[m]++
+		for ti, thr := range thresholds {
+			if s >= thr {
+				tp[ti][m]++
+			}
 		}
 	}
-	out := make([]float64, maxMonths)
-	for m := range out {
-		if pos[m] > 0 {
-			out[m] = tp[m] / pos[m]
-		} else {
-			out[m] = math.NaN()
+	out := make([][]float64, len(thresholds))
+	for ti := range out {
+		out[ti] = make([]float64, maxMonths)
+		for m := range out[ti] {
+			if pos[m] > 0 {
+				out[ti][m] = tp[ti][m] / pos[m]
+			} else {
+				out[ti][m] = math.NaN()
+			}
 		}
 	}
 	return out

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the committed experiment golden files")
+
+const table6GoldenPath = "testdata/table6_golden.json"
+
+// goldenTol absorbs cross-platform floating-point noise (libm, FMA
+// contraction) without letting a real methodology change slip through:
+// any seed, sampling, or classifier change moves AUCs by far more.
+const goldenTol = 1e-9
+
+// TestTable6GridGolden is the seed-stability regression: the full
+// Table 6 grid at the fixture seed must reproduce the committed
+// per-task AUCs exactly. Run with -update after an intentional change
+// to the pipeline's numerical behaviour, and review the diff.
+func TestTable6GridGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid; skipped in -short mode")
+	}
+	ctx := getCtx(t)
+	res, err := RunTable6Grid(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]float64, len(res.Tasks))
+	for i := range res.Tasks {
+		got[res.Tasks[i].Key.String()] = res.Tasks[i].AUC
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(table6GoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(table6GoldenPath, res.AUCTable(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cells)", table6GoldenPath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(table6GoldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	var want map[string]float64
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parsing %s: %v", table6GoldenPath, err)
+	}
+	if len(got) != len(want) {
+		t.Errorf("grid has %d tasks, golden has %d", len(got), len(want))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("golden task %q missing from grid", key)
+			continue
+		}
+		if math.Abs(g-w) > goldenTol {
+			t.Errorf("%s: AUC = %.17g, golden %.17g (Δ %.3g)", key, g, w, g-w)
+		}
+	}
+	for key := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("grid task %q missing from golden (run with -update?)", key)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"runtime"
+
+	"ssdfail/internal/expgrid"
+	"ssdfail/internal/ml"
+	"ssdfail/internal/ml/forest"
+	"ssdfail/internal/ml/knn"
+	"ssdfail/internal/ml/logreg"
+	"ssdfail/internal/ml/neuralnet"
+	"ssdfail/internal/ml/svm"
+	"ssdfail/internal/ml/tree"
+	"ssdfail/internal/trace"
+)
+
+// This file wires the §5 prediction experiments onto the expgrid engine:
+// the grid is decomposed into (scope, classifier, lookahead, fold) tasks
+// whose seeds derive from stable task keys, so every table below is
+// bit-identical at any worker count (see DESIGN.md §11).
+
+// classifierSpecs returns the six Table 6 classifiers as engine specs.
+// Each constructor receives the task seed; the forest caps its internal
+// workers at 1 because parallelism comes from task-level scheduling.
+func (ctx *Context) classifierSpecs() []expgrid.ClassifierSpec {
+	forestTrees := ctx.Cfg.ForestTrees
+	return []expgrid.ClassifierSpec{
+		{Label: "Logistic Reg.", New: func(seed uint64) ml.Classifier {
+			cfg := logreg.DefaultConfig()
+			cfg.Seed = seed
+			return logreg.New(cfg)
+		}},
+		{Label: "k-NN", New: func(uint64) ml.Classifier {
+			return knn.New(knn.DefaultConfig())
+		}},
+		{Label: "SVM", New: func(seed uint64) ml.Classifier {
+			cfg := svm.DefaultConfig()
+			cfg.Seed = seed
+			return svm.New(cfg)
+		}},
+		{Label: "Neural Network", New: func(seed uint64) ml.Classifier {
+			cfg := neuralnet.DefaultConfig()
+			cfg.Seed = seed
+			return neuralnet.New(cfg)
+		}},
+		{Label: "Decision Tree", New: func(seed uint64) ml.Classifier {
+			cfg := tree.DefaultConfig()
+			cfg.Seed = seed
+			return tree.New(cfg)
+		}},
+		{Label: "Random Forest", New: func(seed uint64) ml.Classifier {
+			cfg := forest.DefaultConfig()
+			cfg.Trees = forestTrees
+			cfg.Seed = seed
+			cfg.Workers = 1
+			return forest.New(cfg)
+		}},
+	}
+}
+
+// forestSpec returns a single-classifier spec list for forest-only grids.
+func (ctx *Context) forestSpec() []expgrid.ClassifierSpec {
+	specs := ctx.classifierSpecs()
+	return specs[len(specs)-1:]
+}
+
+// baseSpec fills the spec fields shared by every grid in this package.
+func (ctx *Context) baseSpec(scopes []expgrid.Scope, lookaheads []int) expgrid.Spec {
+	return expgrid.Spec{
+		Scopes:            scopes,
+		Lookaheads:        lookaheads,
+		Folds:             ctx.Cfg.CVFolds,
+		Seed:              ctx.Cfg.Seed,
+		DownsampleRatio:   1,
+		TestNegSampleProb: ctx.Cfg.TestNegSampleProb,
+		AgeMax:            -1,
+		Workers:           ctx.Cfg.Workers,
+	}
+}
+
+// allScope wraps the full fleet as the engine's "all" scope.
+func (ctx *Context) allScope() []expgrid.Scope {
+	return []expgrid.Scope{{Name: "all", Fleet: ctx.Fleet, An: ctx.An}}
+}
+
+// GridSpec builds the full Table 6 grid specification: six classifiers
+// over the given lookaheads on the whole fleet. Exported for the grid
+// benchmark and cmd/ssdpredict.
+func (ctx *Context) GridSpec(lookaheads ...int) expgrid.Spec {
+	spec := ctx.baseSpec(ctx.allScope(), lookaheads)
+	spec.Classifiers = ctx.classifierSpecs()
+	return spec
+}
+
+// ModelGridSpec builds the Table 7 diagonal grid: a random-forest CV per
+// drive-model scope at the given lookaheads.
+func (ctx *Context) ModelGridSpec(folds int, lookaheads ...int) expgrid.Spec {
+	scopes := make([]expgrid.Scope, 0, trace.NumModels)
+	for _, m := range trace.Models {
+		scopes = append(scopes, expgrid.Scope{
+			Name:  m.String(),
+			Fleet: ctx.ModelFleet[m],
+			An:    ctx.ModelAn[m],
+		})
+	}
+	spec := ctx.baseSpec(scopes, lookaheads)
+	spec.Folds = folds
+	spec.Classifiers = ctx.forestSpec()
+	return spec
+}
+
+// RunTable6Grid executes the full Table 6 grid through the engine and
+// returns the raw result (per-task AUCs plus engine statistics).
+func RunTable6Grid(ctx *Context) (*expgrid.Result, error) {
+	res, err := expgrid.Run(ctx.GridSpec(PaperTable6Lookaheads[:]...))
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TrainBenchReport assembles the BENCH_train.json payload for one or
+// more engine runs over this context's grid.
+func TrainBenchReport(ctx *Context, spec *expgrid.Spec, runs []expgrid.BenchRun, aucsIdentical bool) *expgrid.BenchReport {
+	rep := &expgrid.BenchReport{
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		DrivesPerModel: ctx.Cfg.DrivesPerModel,
+		TotalDrives:    len(ctx.Fleet.Drives),
+		DriveDays:      ctx.Fleet.DriveDays(),
+		Scopes:         len(spec.Scopes),
+		Classifiers:    len(spec.Classifiers),
+		Lookaheads:     spec.Lookaheads,
+		Folds:          spec.Folds,
+		Runs:           runs,
+		AUCsIdentical:  aucsIdentical,
+	}
+	if len(runs) > 0 {
+		rep.TasksPerRun = runs[0].Tasks
+	}
+	rep.FillSpeedups()
+	return rep
+}

@@ -5,6 +5,7 @@ import (
 
 	"ssdfail/internal/dataset"
 	"ssdfail/internal/eval"
+	"ssdfail/internal/expgrid"
 	"ssdfail/internal/failure"
 	"ssdfail/internal/ml"
 	"ssdfail/internal/ml/forest"
@@ -57,38 +58,58 @@ func (ctx *Context) cvOptions(lookahead int) eval.CVOptions {
 }
 
 // Table6 cross-validates all six classifiers at lookaheads 1, 2, 3, 7
-// (paper Table 6) and returns the results table plus the raw AUC means
-// indexed [model][lookahead].
+// (paper Table 6) through the expgrid engine and returns the results
+// table plus the raw AUC results indexed [model][lookahead].
 func Table6(ctx *Context) (*report.Table, map[string][]eval.Result, error) {
+	res, err := RunTable6Grid(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("table 6: %w", err)
+	}
 	tbl := &report.Table{
 		Title:   "Table 6: cross-validated ROC AUC per model and lookahead N",
 		Columns: []string{"Model", "N=1", "N=2", "N=3", "N=7", "paper N=1", "paper N=7"},
 	}
 	results := make(map[string][]eval.Result)
-	for _, gp := range ctx.classifierGrid() {
-		row := []string{gp.Label}
+	for _, cs := range ctx.classifierSpecs() {
+		row := []string{cs.Label}
 		var rs []eval.Result
 		for _, n := range PaperTable6Lookaheads {
-			r, err := eval.CrossValidate(ctx.Fleet, ctx.An, ctx.cvOptions(n), gp.Factory)
-			if err != nil {
-				return nil, nil, fmt.Errorf("table 6 (%s, N=%d): %w", gp.Label, n, err)
+			aucs, ok := res.Cell("all", cs.Label, n)
+			if !ok {
+				return nil, nil, fmt.Errorf("table 6: missing cell (%s, N=%d)", cs.Label, n)
 			}
+			r := eval.Summarize(aucs)
 			rs = append(rs, r)
 			row = append(row, fmt.Sprintf("%.3f ± %.3f", r.Mean, r.Std))
 		}
-		ref := PaperTable6[gp.Label]
+		ref := PaperTable6[cs.Label]
 		row = append(row, report.F(ref[0], 3), report.F(ref[3], 3))
 		tbl.AddRow(row...)
-		results[gp.Label] = rs
+		results[cs.Label] = rs
 	}
 	tbl.Notes = append(tbl.Notes,
-		"paper: random forest best at every N; AUC decreases with N for all models")
+		"paper: random forest best at every N; AUC decreases with N for all models",
+		fmt.Sprintf("engine: %d tasks, %.1f tasks/s, cache hit rate %.0f%%, peak matrices %.0f MiB",
+			res.Stats.Tasks, res.Stats.TasksPerSec, 100*res.Stats.CacheHitRate,
+			float64(res.Stats.PeakMatrixBytes)/(1<<20)))
 	return tbl, results, nil
 }
 
+// Figure12Lookaheads is the lookahead sweep of paper Figure 12.
+var Figure12Lookaheads = []int{1, 2, 3, 5, 7, 10, 15, 20, 30}
+
 // Figure12 sweeps the random-forest AUC over lookahead windows
-// (paper Figure 12).
+// (paper Figure 12) as a forest-only engine grid.
 func Figure12(ctx *Context) (*report.Table, *report.Plot, error) {
+	spec := ctx.baseSpec(ctx.allScope(), Figure12Lookaheads)
+	spec.Classifiers = ctx.forestSpec()
+	res, err := expgrid.Run(spec)
+	if err == nil {
+		err = res.Err()
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("figure 12: %w", err)
+	}
 	tbl := &report.Table{
 		Title:   "Figure 12: random forest AUC vs lookahead window N",
 		Columns: []string{"N", "AUC", "std"},
@@ -96,11 +117,12 @@ func Figure12(ctx *Context) (*report.Table, *report.Plot, error) {
 	plot := &report.Plot{Title: "Figure 12", XLabel: "N (days)", YLabel: "ROC AUC"}
 	var s report.Series
 	s.Name = "random forest"
-	for _, n := range []int{1, 2, 3, 5, 7, 10, 15, 20, 30} {
-		r, err := eval.CrossValidate(ctx.Fleet, ctx.An, ctx.cvOptions(n), ctx.forestFactory())
-		if err != nil {
-			return nil, nil, fmt.Errorf("figure 12 (N=%d): %w", n, err)
+	for _, n := range Figure12Lookaheads {
+		aucs, ok := res.Cell("all", "Random Forest", n)
+		if !ok {
+			return nil, nil, fmt.Errorf("figure 12: missing cell N=%d", n)
 		}
+		r := eval.Summarize(aucs)
 		tbl.AddRow(fmt.Sprintf("%d", n), report.F(r.Mean, 3), report.F(r.Std, 3))
 		s.X = append(s.X, float64(n))
 		s.Y = append(s.Y, r.Mean)
@@ -121,43 +143,37 @@ type PooledScores struct {
 	Models []trace.Model
 }
 
-// PooledCV trains the factory per fold and pools test-fold scores, the
-// raw material for Figures 13, 14, and 15. A nil factory uses the
-// standard random forest.
+// PooledCV cross-validates one classifier through the engine and pools
+// test-fold scores in fold order, the raw material for Figures 13, 14,
+// and 15. A nil factory uses the standard random forest with per-task
+// key-derived seeds; a non-nil factory is wrapped as-is (its own seed
+// configuration applies to every fold).
 func (ctx *Context) PooledCV(factory ml.Factory, lookahead int) (*PooledScores, error) {
+	spec := ctx.baseSpec(ctx.allScope(), []int{lookahead})
 	if factory == nil {
-		factory = ctx.forestFactory()
+		spec.Classifiers = ctx.forestSpec()
+	} else {
+		spec.Classifiers = []expgrid.ClassifierSpec{{
+			Label: "pooled",
+			New:   func(uint64) ml.Classifier { return factory() },
+		}}
 	}
-	folds := dataset.Folds(len(ctx.Fleet.Drives), ctx.Cfg.CVFolds, ctx.Cfg.Seed)
+	spec.KeepScores = true
+	res, err := expgrid.Run(spec)
+	if err == nil {
+		err = res.Err()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: pooled CV: %w", err)
+	}
 	ps := &PooledScores{}
-	for k := 0; k < ctx.Cfg.CVFolds; k++ {
-		train := dataset.Extract(ctx.Fleet, ctx.An, dataset.Options{
-			Lookahead:    lookahead,
-			Seed:         ctx.Cfg.Seed + uint64(k),
-			AgeMax:       -1,
-			IncludeDrive: func(di int) bool { return folds[di] != k },
-		})
-		train = dataset.Downsample(train, 1, ctx.Cfg.Seed+uint64(k))
-		test := dataset.Extract(ctx.Fleet, ctx.An, dataset.Options{
-			Lookahead:          lookahead,
-			Seed:               ctx.Cfg.Seed + 1000 + uint64(k),
-			NegativeSampleProb: ctx.Cfg.TestNegSampleProb,
-			AgeMax:             -1,
-			IncludeDrive:       func(di int) bool { return folds[di] == k },
-		})
-		if train.Positives() == 0 || test.Positives() == 0 {
-			return nil, fmt.Errorf("experiments: fold %d lacks positives; increase fleet size", k)
-		}
-		clf := factory()
-		if err := clf.Fit(train); err != nil {
-			return nil, err
-		}
-		scores := ml.ScoreBatch(clf, test)
-		ps.Scores = append(ps.Scores, scores...)
-		ps.Y = append(ps.Y, test.Y...)
-		ps.Ages = append(ps.Ages, test.Age...)
-		for i := 0; i < test.Len(); i++ {
-			ps.Models = append(ps.Models, ctx.Fleet.Drives[test.DriveIdx[i]].Model)
+	for i := range res.Tasks {
+		tr := &res.Tasks[i]
+		ps.Scores = append(ps.Scores, tr.Scores...)
+		ps.Y = append(ps.Y, tr.Y...)
+		ps.Ages = append(ps.Ages, tr.Ages...)
+		for _, di := range tr.DriveIdx {
+			ps.Models = append(ps.Models, ctx.Fleet.Drives[di].Model)
 		}
 	}
 	return ps, nil
@@ -211,9 +227,8 @@ func Figure14(ctx *Context, ps *PooledScores) (*report.Table, *report.Plot) {
 		Columns: []string{"Age (months)", "thr 0.85", "thr 0.90", "thr 0.95"},
 	}
 	plot := &report.Plot{Title: "Figure 14", XLabel: "age (months)", YLabel: "TPR"}
-	curves := make([][]float64, len(thresholds))
+	curves := eval.TPRByAgeMonths(ps.Scores, ps.Y, ps.Ages, thresholds, months)
 	for ti, thr := range thresholds {
-		curves[ti] = eval.TPRByAgeMonth(ps.Scores, ps.Y, ps.Ages, thr, months)
 		var s report.Series
 		s.Name = fmt.Sprintf("thr %.2f", thr)
 		for m, v := range curves[ti] {
@@ -356,15 +371,24 @@ func Table7(ctx *Context) (*report.Table, error) {
 	}
 	opts := ctx.cvOptions(1)
 	opts.Folds = 3 // per-model fleets are a third of the drives
+	// The diagonal (train and test share a model) is one engine grid: a
+	// forest CV per drive-model scope.
+	diag, err := expgrid.Run(ctx.ModelGridSpec(opts.Folds, 1))
+	if err == nil {
+		err = diag.Err()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("table 7 diagonal: %w", err)
+	}
 	for _, testM := range trace.Models {
 		row := []string{testM.String()}
 		for _, trainM := range trace.Models {
 			if trainM == testM {
-				r, err := eval.CrossValidate(ctx.ModelFleet[testM], ctx.ModelAn[testM], opts, ctx.forestFactory())
-				if err != nil {
-					return nil, fmt.Errorf("table 7 (%v cv): %w", testM, err)
+				aucs, ok := diag.Cell(testM.String(), "Random Forest", 1)
+				if !ok {
+					return nil, fmt.Errorf("table 7: missing diagonal cell %v", testM)
 				}
-				row = append(row, fmt.Sprintf("%.3f*", r.Mean))
+				row = append(row, fmt.Sprintf("%.3f*", eval.Summarize(aucs).Mean))
 				continue
 			}
 			auc, err := eval.TrainTest(

@@ -1,0 +1,144 @@
+package expgrid
+
+import (
+	"container/list"
+	"sync"
+
+	"ssdfail/internal/dataset"
+)
+
+// MatrixCache is a byte-bounded LRU over materialized feature matrices.
+// Windowed feature extraction is the dominant cost of the grid and is
+// shared by every (classifier, fold) task of a (scope, lookahead) cell,
+// so the cache computes each base matrix once and hands out read-only
+// references. Concurrent requests for the same key are coalesced
+// (single-flight): one caller builds, the rest wait.
+//
+// Eviction removes a matrix from the cache's accounting only; tasks that
+// already hold a reference keep using it (matrices are immutable), and
+// the garbage collector reclaims the memory when the last reference
+// drops. A later request for an evicted key rebuilds it, which is always
+// safe because builders are required to be deterministic pure functions
+// of the key.
+type MatrixCache struct {
+	mu      sync.Mutex
+	maxB    int64 // byte budget; <= 0 means unbounded
+	curB    int64
+	peakB   int64
+	entries map[string]*cacheEntry
+	lru     *list.List // front = most recently used; holds ready entries only
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key   string
+	ready chan struct{} // closed when m/err are set
+	m     *dataset.Matrix
+	err   error
+	bytes int64
+	elem  *list.Element // nil until ready and while evicted
+}
+
+// NewMatrixCache returns a cache bounded to maxBytes (<= 0 = unbounded).
+func NewMatrixCache(maxBytes int64) *MatrixCache {
+	return &MatrixCache{
+		maxB:    maxBytes,
+		entries: make(map[string]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// matrixBytes estimates the resident size of a matrix.
+func matrixBytes(m *dataset.Matrix) int64 {
+	if m == nil {
+		return 0
+	}
+	return int64(len(m.X))*8 + int64(len(m.Y)) + int64(len(m.DriveIdx)+len(m.Day)+len(m.Age))*4
+}
+
+// GetOrBuild returns the matrix for key, building it with build on a
+// miss. build must be a deterministic function of the key only: the
+// cache may call it from any goroutine and may call it again after an
+// eviction, and every call must produce an identical matrix. A build
+// error is returned to every waiter of that flight but is not cached.
+func (c *MatrixCache) GetOrBuild(key string, build func() (*dataset.Matrix, error)) (*dataset.Matrix, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		c.touch(e)
+		return e.m, nil
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	m, err := build()
+	c.mu.Lock()
+	e.m, e.err = m, err
+	if err != nil {
+		// Do not cache failures; let a later caller retry.
+		delete(c.entries, key)
+	} else {
+		e.bytes = matrixBytes(m)
+		e.elem = c.lru.PushFront(e)
+		c.curB += e.bytes
+		if c.curB > c.peakB {
+			c.peakB = c.curB
+		}
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return m, err
+}
+
+// touch records a hit and refreshes the entry's LRU position.
+func (c *MatrixCache) touch(e *cacheEntry) {
+	c.mu.Lock()
+	c.hits++
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+	c.mu.Unlock()
+}
+
+// evictLocked drops least-recently-used ready entries until the cache
+// fits its budget. The newest entry is never evicted, so a single
+// matrix larger than the whole budget still caches (and is replaced by
+// the next insertion).
+func (c *MatrixCache) evictLocked() {
+	if c.maxB <= 0 {
+		return
+	}
+	for c.curB > c.maxB && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.curB -= e.bytes
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache counters.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	CurrentBytes, PeakBytes int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *MatrixCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		CurrentBytes: c.curB, PeakBytes: c.peakB,
+	}
+}

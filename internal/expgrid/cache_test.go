@@ -1,0 +1,132 @@
+package expgrid
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ssdfail/internal/dataset"
+)
+
+// fakeMatrix returns a matrix of n rows with a marker value.
+func fakeMatrix(n int, marker float64) *dataset.Matrix {
+	m := &dataset.Matrix{Width: 1}
+	for i := 0; i < n; i++ {
+		m.X = append(m.X, marker)
+		m.Y = append(m.Y, 0)
+		m.DriveIdx = append(m.DriveIdx, int32(i))
+		m.Day = append(m.Day, int32(i))
+		m.Age = append(m.Age, int32(i))
+	}
+	return m
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewMatrixCache(0) // 0 normalizes nowhere here: unbounded only when <= 0
+	var builds int64
+	var wg sync.WaitGroup
+	const callers = 16
+	out := make([]*dataset.Matrix, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := c.GetOrBuild("k", func() (*dataset.Matrix, error) {
+				atomic.AddInt64(&builds, 1)
+				return fakeMatrix(10, 7), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[i] = m
+		}()
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Fatalf("builder ran %d times, want 1", builds)
+	}
+	for i := 1; i < callers; i++ {
+		if out[i] != out[0] {
+			t.Fatal("callers received different matrix instances")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 {
+		t.Errorf("stats = %+v, want 1 miss / %d hits", st, callers-1)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	one := matrixBytes(fakeMatrix(100, 0))
+	c := NewMatrixCache(2*one + one/2) // room for two matrices
+	build := func(marker float64) func() (*dataset.Matrix, error) {
+		return func() (*dataset.Matrix, error) { return fakeMatrix(100, marker), nil }
+	}
+	mustGet := func(key string, marker float64) {
+		t.Helper()
+		if _, err := c.GetOrBuild(key, build(marker)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet("a", 1)
+	mustGet("b", 2)
+	mustGet("a", 1) // refresh a; b is now LRU
+	mustGet("c", 3) // evicts b
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.CurrentBytes != 2*one {
+		t.Fatalf("current bytes = %d, want %d", st.CurrentBytes, 2*one)
+	}
+	if st.PeakBytes != 3*one {
+		t.Fatalf("peak bytes = %d, want %d", st.PeakBytes, 3*one)
+	}
+	// b rebuilds (miss) and its insertion evicts a — now the LRU behind
+	// c and the fresh b.
+	before := c.Stats().Misses
+	mustGet("b", 2)
+	if got := c.Stats().Misses; got != before+1 {
+		t.Fatalf("b should have been evicted: misses %d, want %d", got, before+1)
+	}
+	mustGet("c", 3)
+	if got := c.Stats().Misses; got != before+1 {
+		t.Fatal("c should still be resident")
+	}
+	mustGet("a", 1)
+	if got := c.Stats().Misses; got != before+2 {
+		t.Fatal("a should have been evicted by b's reinsertion")
+	}
+}
+
+func TestCacheOversizedEntryStillCaches(t *testing.T) {
+	c := NewMatrixCache(1) // smaller than any matrix
+	if _, err := c.GetOrBuild("big", func() (*dataset.Matrix, error) {
+		return fakeMatrix(50, 1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The newest entry survives even over budget.
+	if _, err := c.GetOrBuild("big", func() (*dataset.Matrix, error) {
+		t.Fatal("rebuilt resident oversized entry")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheBuildErrorNotCached(t *testing.T) {
+	c := NewMatrixCache(-1)
+	boom := errors.New("boom")
+	if _, err := c.GetOrBuild("k", func() (*dataset.Matrix, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Next call retries the build.
+	m, err := c.GetOrBuild("k", func() (*dataset.Matrix, error) { return fakeMatrix(5, 1), nil })
+	if err != nil || m == nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+}

@@ -1,0 +1,311 @@
+package expgrid
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/failure"
+	"ssdfail/internal/fleetsim"
+	"ssdfail/internal/ml"
+	"ssdfail/internal/ml/forest"
+	"ssdfail/internal/ml/logreg"
+	"ssdfail/internal/ml/tree"
+	"ssdfail/internal/trace"
+)
+
+var (
+	fixOnce  sync.Once
+	fixFleet *trace.Fleet
+	fixAn    *failure.Analysis
+	fixErr   error
+)
+
+// fixture builds one small shared fleet for all engine tests.
+func fixture(t *testing.T) (*trace.Fleet, *failure.Analysis) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fc := fleetsim.DefaultConfig(11, 90)
+		fc.HorizonDays = 1095
+		if fc.EarlyWindow >= fc.HorizonDays-60 {
+			fc.EarlyWindow = (fc.HorizonDays - 60) / 3
+		}
+		fixFleet, _, fixErr = fleetsim.Generate(fc)
+		if fixErr == nil {
+			fixAn = failure.Analyze(fixFleet)
+		}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixFleet, fixAn
+}
+
+// testClassifiers returns two cheap deterministic classifiers.
+func testClassifiers(trees int) []ClassifierSpec {
+	return []ClassifierSpec{
+		{Label: "Logistic Reg.", New: func(seed uint64) ml.Classifier {
+			cfg := logreg.DefaultConfig()
+			cfg.Seed = seed
+			return logreg.New(cfg)
+		}},
+		{Label: "Random Forest", New: func(seed uint64) ml.Classifier {
+			cfg := forest.DefaultConfig()
+			cfg.Trees = trees
+			cfg.Seed = seed
+			cfg.Workers = 1
+			return forest.New(cfg)
+		}},
+	}
+}
+
+func testSpec(t *testing.T) Spec {
+	f, an := fixture(t)
+	return Spec{
+		Scopes:            []Scope{{Name: "all", Fleet: f, An: an}},
+		Classifiers:       testClassifiers(10),
+		Lookaheads:        []int{1, 2},
+		Folds:             3,
+		Seed:              42,
+		TestNegSampleProb: 0.2,
+	}
+}
+
+// TestEngineDeterminismAcrossWorkers is the tentpole guarantee: the AUC
+// table must be byte-identical at one worker and at high concurrency,
+// run after run.
+func TestEngineDeterminismAcrossWorkers(t *testing.T) {
+	var tables [][]byte
+	for _, workers := range []int{1, 2, 4, 4} {
+		spec := testSpec(t)
+		spec.Workers = workers
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatalf("workers=%d: task error: %v", workers, err)
+		}
+		tables = append(tables, res.AUCTable())
+	}
+	for i := 1; i < len(tables); i++ {
+		if !bytes.Equal(tables[0], tables[i]) {
+			t.Fatalf("AUC table differs between run 0 (workers=1) and run %d:\n%s\nvs\n%s",
+				i, tables[0], tables[i])
+		}
+	}
+}
+
+// TestEngineResultShape checks canonical ordering, cell retrieval, and
+// that AUCs look like discriminative classifier output on this fleet.
+func TestEngineResultShape(t *testing.T) {
+	spec := testSpec(t)
+	spec.Workers = 2
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTasks := 1 * len(spec.Classifiers) * len(spec.Lookaheads) * spec.Folds
+	if len(res.Tasks) != wantTasks {
+		t.Fatalf("got %d tasks, want %d", len(res.Tasks), wantTasks)
+	}
+	// Canonical order: lookahead-major over classifiers over folds.
+	i := 0
+	for _, n := range spec.Lookaheads {
+		for _, cs := range spec.Classifiers {
+			for k := 0; k < spec.Folds; k++ {
+				got := res.Tasks[i].Key
+				want := TaskKey{Scope: "all", Classifier: cs.Label, Lookahead: n, Fold: k}
+				if got != want {
+					t.Fatalf("task %d key = %v, want %v", i, got, want)
+				}
+				i++
+			}
+		}
+	}
+	for _, cs := range spec.Classifiers {
+		aucs, ok := res.Cell("all", cs.Label, 1)
+		if !ok || len(aucs) != spec.Folds {
+			t.Fatalf("cell (all, %s, 1): ok=%v n=%d", cs.Label, ok, len(aucs))
+		}
+		for _, a := range aucs {
+			if a < 0.55 || a > 1 {
+				t.Errorf("%s fold AUC %.3f outside sane range", cs.Label, a)
+			}
+		}
+	}
+	if res.Stats.Tasks != wantTasks || res.Stats.WallSeconds <= 0 || res.Stats.TasksPerSec <= 0 {
+		t.Errorf("stats incomplete: %+v", res.Stats)
+	}
+}
+
+// TestEngineCacheReuse pins the cache contract: one miss per
+// (scope, lookahead) cell, everything else hits.
+func TestEngineCacheReuse(t *testing.T) {
+	spec := testSpec(t)
+	spec.Workers = 2
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := int64(len(spec.Lookaheads)) // one scope
+	tasks := int64(len(res.Tasks))
+	if res.Stats.CacheMisses != cells {
+		t.Errorf("cache misses = %d, want %d (one per cell)", res.Stats.CacheMisses, cells)
+	}
+	if res.Stats.CacheHits != tasks-cells {
+		t.Errorf("cache hits = %d, want %d", res.Stats.CacheHits, tasks-cells)
+	}
+	if res.Stats.PeakMatrixBytes <= 0 {
+		t.Error("peak matrix bytes not tracked")
+	}
+	if res.Stats.CacheHitRate <= 0 || res.Stats.CacheHitRate >= 1 {
+		t.Errorf("cache hit rate = %v, want in (0,1)", res.Stats.CacheHitRate)
+	}
+}
+
+// TestEngineTinyCacheStillDeterministic forces evictions and rebuilds
+// mid-run and requires results identical to an unbounded-cache run —
+// the rebuild-determinism contract of MatrixCache.
+func TestEngineTinyCacheStillDeterministic(t *testing.T) {
+	unbounded := testSpec(t)
+	unbounded.Workers = 2
+	unbounded.CacheBytes = -1
+	want, err := Run(unbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := testSpec(t)
+	tiny.Workers = 2
+	tiny.CacheBytes = 1 // evict after every insert
+	got, err := Run(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.CacheEvictions == 0 {
+		t.Error("tiny cache recorded no evictions")
+	}
+	if !bytes.Equal(want.AUCTable(), got.AUCTable()) {
+		t.Fatal("AUC table changed under cache eviction pressure")
+	}
+}
+
+// TestSplitRowsFoldHygiene checks the §5 methodology invariants on the
+// engine's row splitter: train and test never share a drive, test holds
+// exactly the fold's rows, and downsampling keeps every positive.
+func TestSplitRowsFoldHygiene(t *testing.T) {
+	f, an := fixture(t)
+	base := dataset.Extract(f, an, dataset.Options{
+		Lookahead: 1, NegativeSampleProb: 0.2, Seed: 9, AgeMax: -1,
+	})
+	folds := dataset.Folds(len(f.Drives), 3, 42)
+	for k := 0; k < 3; k++ {
+		train, test := splitRows(base, folds, k, 1234, 1)
+		seen := make(map[int32]string)
+		for _, i := range train {
+			seen[base.DriveIdx[i]] = "train"
+			if folds[base.DriveIdx[i]] == k {
+				t.Fatalf("fold %d: train row %d belongs to test fold", k, i)
+			}
+		}
+		for _, i := range test {
+			if folds[base.DriveIdx[i]] != k {
+				t.Fatalf("fold %d: test row %d belongs to fold %d", k, i, folds[base.DriveIdx[i]])
+			}
+			if seen[base.DriveIdx[i]] == "train" {
+				t.Fatalf("fold %d: drive %d appears in both train and test", k, base.DriveIdx[i])
+			}
+		}
+		// Every positive outside the fold must survive downsampling, and
+		// every fold row must be in test.
+		wantTest := 0
+		wantPos := 0
+		for i := 0; i < base.Len(); i++ {
+			if folds[base.DriveIdx[i]] == k {
+				wantTest++
+			} else if base.Y[i] == 1 {
+				wantPos++
+			}
+		}
+		if len(test) != wantTest {
+			t.Fatalf("fold %d: test has %d rows, want %d", k, len(test), wantTest)
+		}
+		gotPos := 0
+		for _, i := range train {
+			if base.Y[i] == 1 {
+				gotPos++
+			}
+		}
+		if gotPos != wantPos {
+			t.Fatalf("fold %d: train kept %d positives, want all %d", k, gotPos, wantPos)
+		}
+		// 1:1 downsampling: negatives within 3x of positives (hash
+		// sampling is approximate on small counts).
+		gotNeg := len(train) - gotPos
+		if wantPos > 20 && (gotNeg < wantPos/3 || gotNeg > wantPos*3) {
+			t.Errorf("fold %d: train negatives %d far from 1:1 against %d positives", k, gotNeg, wantPos)
+		}
+	}
+}
+
+// TestEngineKeepScores checks pooled-score provenance: per-task scores
+// align with labels and ages, and cover only the task's test fold.
+func TestEngineKeepScores(t *testing.T) {
+	spec := testSpec(t)
+	spec.Classifiers = []ClassifierSpec{{Label: "Decision Tree", New: func(seed uint64) ml.Classifier {
+		cfg := tree.DefaultConfig()
+		cfg.Seed = seed
+		return tree.New(cfg)
+	}}}
+	spec.Lookaheads = []int{1}
+	spec.Workers = 2
+	spec.KeepScores = true
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fixture(t)
+	folds := dataset.Folds(len(f.Drives), spec.Folds, spec.Seed)
+	total := 0
+	for i := range res.Tasks {
+		tr := &res.Tasks[i]
+		if len(tr.Scores) != tr.TestRows || len(tr.Y) != tr.TestRows ||
+			len(tr.Ages) != tr.TestRows || len(tr.DriveIdx) != tr.TestRows {
+			t.Fatalf("task %v: provenance slices disagree with TestRows=%d", tr.Key, tr.TestRows)
+		}
+		for _, di := range tr.DriveIdx {
+			if folds[di] != tr.Key.Fold {
+				t.Fatalf("task %v: pooled row from drive %d of fold %d", tr.Key, di, folds[di])
+			}
+		}
+		total += tr.TestRows
+	}
+	if total == 0 {
+		t.Fatal("no pooled scores")
+	}
+}
+
+// TestSpecValidation rejects malformed grids.
+func TestSpecValidation(t *testing.T) {
+	f, an := fixture(t)
+	cases := []Spec{
+		{},
+		{Scopes: []Scope{{Name: "all", Fleet: f, An: an}}},
+		{Scopes: []Scope{{Name: "all"}}, Classifiers: testClassifiers(5)},
+		{Scopes: []Scope{{Name: "a", Fleet: f, An: an}, {Name: "a", Fleet: f, An: an}},
+			Classifiers: testClassifiers(5)},
+		{Scopes: []Scope{{Name: "all", Fleet: f, An: an}},
+			Classifiers: []ClassifierSpec{{Label: "x", New: nil}}},
+		{Scopes: []Scope{{Name: "all", Fleet: f, An: an}},
+			Classifiers: testClassifiers(5), Lookaheads: []int{0}},
+	}
+	for i, spec := range cases {
+		if _, err := Run(spec); err == nil {
+			t.Errorf("case %d: Run accepted invalid spec", i)
+		}
+	}
+}

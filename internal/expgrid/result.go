@@ -1,0 +1,144 @@
+package expgrid
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// TaskResult is the outcome of one grid task.
+type TaskResult struct {
+	Key                 TaskKey
+	AUC                 float64
+	TrainRows, TrainPos int
+	TestRows, TestPos   int
+	Seconds             float64
+	Error               string // empty on success
+	// Populated only when Spec.KeepScores is set: test scores with row
+	// provenance, in base-matrix row order.
+	Scores   []float64
+	Y        []int8
+	Ages     []int32
+	DriveIdx []int32
+}
+
+// Stats summarizes one engine run.
+type Stats struct {
+	Workers         int     `json:"workers"`
+	Tasks           int     `json:"tasks"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	TasksPerSec     float64 `json:"tasks_per_sec"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheEvictions  int64   `json:"cache_evictions"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	PeakMatrixBytes int64   `json:"peak_matrix_bytes"`
+}
+
+// Result holds every task's outcome in canonical enumeration order
+// (scope-major, then lookahead, classifier, fold) plus run statistics.
+type Result struct {
+	Tasks []TaskResult
+	Stats Stats
+}
+
+// Err returns the first task error in canonical order, or nil.
+func (r *Result) Err() error {
+	for i := range r.Tasks {
+		if r.Tasks[i].Error != "" {
+			return errors.New(r.Tasks[i].Error)
+		}
+	}
+	return nil
+}
+
+// Cell returns the per-fold AUCs of one (scope, classifier, lookahead)
+// cell in fold order, and whether the cell exists in the result.
+func (r *Result) Cell(scope, classifier string, lookahead int) ([]float64, bool) {
+	var aucs []float64
+	for i := range r.Tasks {
+		k := &r.Tasks[i].Key
+		if k.Scope == scope && k.Classifier == classifier && k.Lookahead == lookahead {
+			aucs = append(aucs, r.Tasks[i].AUC)
+		}
+	}
+	return aucs, len(aucs) > 0
+}
+
+// AUCTable renders every task's AUC as a canonical-order map from the
+// task key's string form to the exact float64 (shortest round-trip
+// formatting). Two runs of the same spec produce byte-identical tables
+// if and only if every AUC is bit-identical — the determinism contract
+// checked by tests and the grid benchmark.
+func (r *Result) AUCTable() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("{\n")
+	for i := range r.Tasks {
+		t := &r.Tasks[i]
+		if i > 0 {
+			buf.WriteString(",\n")
+		}
+		fmt.Fprintf(&buf, "  %q: %s", t.Key.String(), strconv.FormatFloat(t.AUC, 'g', -1, 64))
+	}
+	buf.WriteString("\n}\n")
+	return buf.Bytes()
+}
+
+// BenchRun is one worker-count measurement in a BenchReport.
+type BenchRun struct {
+	Stats
+	SpeedupOverOneWorker float64 `json:"speedup_over_1_worker,omitempty"`
+}
+
+// BenchReport is the schema of BENCH_train.json: the training-grid
+// performance trajectory recorded by BenchmarkExperimentGrid and by
+// ssdpredict -train-bench.
+type BenchReport struct {
+	Kind           string     `json:"kind"` // "ssdfail_train_grid"
+	GoMaxProcs     int        `json:"go_max_procs"`
+	NumCPU         int        `json:"num_cpu"`
+	DrivesPerModel int        `json:"drives_per_model"`
+	TotalDrives    int        `json:"total_drives"`
+	DriveDays      int        `json:"drive_days"`
+	Scopes         int        `json:"scopes"`
+	Classifiers    int        `json:"classifiers"`
+	Lookaheads     []int      `json:"lookaheads"`
+	Folds          int        `json:"folds"`
+	TasksPerRun    int        `json:"tasks_per_run"`
+	Runs           []BenchRun `json:"runs"`
+	// AUCsIdentical reports whether every run produced a byte-identical
+	// AUC table — the determinism cross-check.
+	AUCsIdentical bool `json:"aucs_identical"`
+}
+
+// FillSpeedups computes each run's speedup over the workers=1 run, if
+// one is present.
+func (b *BenchReport) FillSpeedups() {
+	var base float64
+	for _, r := range b.Runs {
+		if r.Workers == 1 {
+			base = r.WallSeconds
+		}
+	}
+	if base <= 0 {
+		return
+	}
+	for i := range b.Runs {
+		if b.Runs[i].WallSeconds > 0 {
+			b.Runs[i].SpeedupOverOneWorker = base / b.Runs[i].WallSeconds
+		}
+	}
+}
+
+// WriteFile writes the report as indented JSON.
+func (b *BenchReport) WriteFile(path string) error {
+	b.Kind = "ssdfail_train_grid"
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,71 @@
+package expgrid
+
+import "fmt"
+
+// TaskKey identifies one unit of work in the §5 experiment grid: train
+// and evaluate one classifier on one cross-validation fold of one
+// (fleet scope, lookahead) slice. The key is the unit of determinism —
+// every random choice a task makes (classifier initialization, training
+// downsampling) is seeded from the key alone, so results are independent
+// of which worker runs the task, in what order, and at what concurrency.
+type TaskKey struct {
+	Scope      string // fleet scope: "all" or a drive model name
+	Classifier string // classifier label, e.g. "Random Forest"
+	Lookahead  int    // prediction window N in days
+	Fold       int    // cross-validation fold index
+}
+
+// String returns the canonical form of the key. It is part of the seed
+// derivation contract: changing it silently reseeds the whole grid, so
+// the format is pinned by tests.
+func (k TaskKey) String() string {
+	return fmt.Sprintf("%s/%s/N=%d/fold=%d", k.Scope, k.Classifier, k.Lookahead, k.Fold)
+}
+
+// fnv1a64 hashes s with the 64-bit FNV-1a function.
+func fnv1a64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche so that keys
+// differing in a single character produce uncorrelated seeds.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Seed derives the task's classifier seed from the base grid seed and
+// the full canonical key.
+func (k TaskKey) Seed(base uint64) uint64 {
+	return mix64(base ^ fnv1a64(k.String()))
+}
+
+// SampleSeed derives the seed for train-set downsampling. It omits the
+// classifier so that every classifier evaluated on the same
+// (scope, lookahead, fold) cell trains on the same rows — the paired
+// design that makes Table 6's per-column comparisons meaningful.
+func (k TaskKey) SampleSeed(base uint64) uint64 {
+	flat := TaskKey{Scope: k.Scope, Lookahead: k.Lookahead, Fold: k.Fold}
+	return mix64(base ^ fnv1a64(flat.String()) ^ 0x5a17)
+}
+
+// hash01 maps (seed, row index) to a uniform float64 in [0, 1) without
+// any sequential RNG state, so per-row sampling decisions are
+// order-independent and identical at any worker count.
+func hash01(seed uint64, i int) float64 {
+	x := mix64(seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+	return float64(x>>11) / (1 << 53)
+}
