@@ -1,0 +1,58 @@
+// Command ssdlint runs the repo's static analyzers — the determinism
+// and durability contract checks — over the module, using only the
+// standard library's go/parser, go/ast, and go/types.
+//
+// Usage:
+//
+//	go run ./cmd/ssdlint ./...
+//	go run ./cmd/ssdlint -json ./internal/serve
+//	go run ./cmd/ssdlint -baseline .ssdlint-baseline ./...
+//	go run ./cmd/ssdlint -baseline .ssdlint-baseline -write-baseline ./...
+//
+// Exit status: 0 when no findings outside the baseline, 1 when new
+// findings exist, 2 on usage or load errors. Individual findings are
+// suppressed inline with
+//
+//	//ssdlint:allow <analyzer> <reason>
+//
+// on or directly above the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssdfail/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
+	baseline := flag.String("baseline", "", "baseline `file` of accepted findings (missing file = empty)")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the -baseline file with the current findings and exit 0")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ssdlint [flags] packages...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssdlint: %v\n", err)
+		os.Exit(lint.ExitError)
+	}
+	os.Exit(lint.Run(lint.Options{
+		Dir:           cwd,
+		Patterns:      flag.Args(),
+		JSON:          *jsonOut,
+		BaselinePath:  *baseline,
+		WriteBaseline: *writeBaseline,
+	}))
+}

@@ -242,13 +242,15 @@ func AblationForestSize(ctx *Context) (*report.Table, error) {
 		cfg.Trees = trees
 		cfg.Seed = ctx.Cfg.Seed
 		cfg.Workers = ctx.Cfg.Workers
-		start := time.Now()
+		start := time.Now() //ssdlint:allow nondeterminism CV wall time is a reported diagnostic, not a model input
 		r, err := eval.CrossValidate(ctx.Fleet, ctx.An, ctx.cvOptions(1), forest.NewFactory(cfg))
 		if err != nil {
 			return nil, err
 		}
+		//ssdlint:allow nondeterminism CV wall time is a reported diagnostic, not a model input
+		elapsed := time.Since(start).Round(time.Millisecond)
 		tbl.AddRow(fmt.Sprintf("%d", trees), report.F(r.Mean, 3), report.F(r.Std, 3),
-			time.Since(start).Round(time.Millisecond).String())
+			elapsed.String())
 	}
 	return tbl, nil
 }

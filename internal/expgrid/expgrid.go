@@ -245,7 +245,7 @@ func Run(spec Spec) (*Result, error) {
 	}
 
 	results := make([]TaskResult, len(tasks))
-	start := time.Now()
+	start := time.Now() //ssdlint:allow nondeterminism wall time feeds only throughput Stats, never task results
 	pool := parallel.NewPool(spec.Workers)
 	for i := range tasks {
 		i := i
@@ -254,7 +254,7 @@ func Run(spec Spec) (*Result, error) {
 		})
 	}
 	pool.Close()
-	wall := time.Since(start)
+	wall := time.Since(start) //ssdlint:allow nondeterminism wall time feeds only throughput Stats, never task results
 
 	cs := cache.Stats()
 	workers := spec.Workers
@@ -280,7 +280,8 @@ func Run(spec Spec) (*Result, error) {
 // runTask executes one grid task end to end.
 func runTask(spec *Spec, cache *MatrixCache, scopeFolds [][]int, t task) TaskResult {
 	res := TaskResult{Key: t.key}
-	taskStart := time.Now()
+	taskStart := time.Now() //ssdlint:allow nondeterminism per-task wall time is diagnostic output, never a model input
+	//ssdlint:allow nondeterminism per-task wall time is diagnostic output, never a model input
 	defer func() { res.Seconds = time.Since(taskStart).Seconds() }()
 
 	sc := &spec.Scopes[t.scopeIdx]

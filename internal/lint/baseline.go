@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// A Baseline is the committed set of accepted findings. Entries are
+// keyed by (analyzer, file, message) — deliberately without a line
+// number, so unrelated edits that shift lines do not invalidate the
+// baseline. A finding matching an entry is not "new" and does not fail
+// the run; an entry matching no current finding is stale and is
+// reported as removable.
+type Baseline struct {
+	entries []baselineEntry
+}
+
+type baselineEntry struct {
+	Analyzer, File, Message string
+}
+
+func (e baselineEntry) String() string {
+	return e.Analyzer + "\t" + e.File + "\t" + e.Message
+}
+
+// LoadBaseline reads a baseline file: one tab-separated
+// analyzer/file/message entry per line, with blank lines and #-comment
+// lines ignored. A missing file is an empty baseline, so a repo without
+// accepted findings needs no file at all.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed baseline entry (want analyzer<TAB>file<TAB>message): %q",
+				path, i+1, line)
+		}
+		b.entries = append(b.entries, baselineEntry{Analyzer: parts[0], File: parts[1], Message: parts[2]})
+	}
+	return b, nil
+}
+
+// Filter splits findings into the fresh ones (not covered by the
+// baseline — these fail the run) and reports which baseline entries are
+// stale: nothing in the tree produces them anymore, so they can be
+// deleted from the file.
+func (b *Baseline) Filter(findings []Finding) (fresh []Finding, stale []string) {
+	matched := make([]bool, len(b.entries))
+	for _, f := range findings {
+		hit := false
+		for i, e := range b.entries {
+			if e.Analyzer == f.Analyzer && e.File == f.File && e.Message == f.Message {
+				matched[i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			fresh = append(fresh, f)
+		}
+	}
+	for i, e := range b.entries {
+		if !matched[i] {
+			stale = append(stale, e.String())
+		}
+	}
+	return fresh, stale
+}
+
+// FormatBaseline renders findings as baseline file content, sorted and
+// deduplicated so regenerating the file is itself deterministic.
+func FormatBaseline(findings []Finding) []byte {
+	seen := map[string]bool{}
+	var lines []string
+	for _, f := range findings {
+		e := baselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message}
+		if s := e.String(); !seen[s] {
+			seen[s] = true
+			lines = append(lines, s)
+		}
+	}
+	sort.Strings(lines)
+	var buf bytes.Buffer
+	buf.WriteString("# ssdlint baseline: accepted findings that do not fail CI.\n")
+	buf.WriteString("# One entry per line: analyzer<TAB>file<TAB>message.\n")
+	buf.WriteString("# Regenerate with: go run ./cmd/ssdlint -baseline <this file> -write-baseline ./...\n")
+	for _, l := range lines {
+		buf.WriteString(l)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}

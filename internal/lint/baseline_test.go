@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineClockProgram = `package fleetsim
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`
+
+func TestBaselineParksFinding(t *testing.T) {
+	root := writeTestModule(t, map[string]string{
+		"internal/fleetsim/clock.go": baselineClockProgram,
+	})
+	base := filepath.Join(root, ".ssdlint-baseline")
+	err := os.WriteFile(base, []byte(
+		"# accepted\n"+
+			"nondeterminism\tinternal/fleetsim/clock.go\twall clock read (time.Now) in a deterministic package; only injected clocks are allowed\n"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := Run(Options{Dir: root, Patterns: []string{"./..."}, BaselinePath: base,
+		Stdout: &stdout, Stderr: &stderr})
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want clean: baselined finding must not fail\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if strings.Contains(stderr.String(), "stale baseline") {
+		t.Errorf("live baseline entry reported stale:\n%s", stderr.String())
+	}
+}
+
+func TestBaselineDoesNotHideNewFindings(t *testing.T) {
+	root := writeTestModule(t, map[string]string{
+		"internal/fleetsim/clock.go": baselineClockProgram,
+		"internal/fleetsim/rand.go": `package fleetsim
+
+import "math/rand"
+
+func Draw() float64 { return rand.Float64() }
+`,
+	})
+	base := filepath.Join(root, ".ssdlint-baseline")
+	err := os.WriteFile(base, []byte(
+		"nondeterminism\tinternal/fleetsim/clock.go\twall clock read (time.Now) in a deterministic package; only injected clocks are allowed\n"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := Run(Options{Dir: root, Patterns: []string{"./..."}, BaselinePath: base,
+		Stdout: &stdout, Stderr: &stderr})
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want findings: the rand.Float64 finding is not baselined", code)
+	}
+	out := stdout.String()
+	if strings.Contains(out, "clock.go") {
+		t.Errorf("baselined finding still printed:\n%s", out)
+	}
+	if !strings.Contains(out, "rand.go") {
+		t.Errorf("fresh finding missing:\n%s", out)
+	}
+}
+
+// TestStaleBaselineReportedRemovable is the satellite contract: an
+// entry matching nothing in the tree is called out as removable (but
+// does not fail the run by itself).
+func TestStaleBaselineReportedRemovable(t *testing.T) {
+	root := writeTestModule(t, map[string]string{
+		"internal/report/ok.go": "package report\n\nfunc OK() int { return 1 }\n",
+	})
+	base := filepath.Join(root, ".ssdlint-baseline")
+	err := os.WriteFile(base, []byte(
+		"nondeterminism\tinternal/fleetsim/gone.go\twall clock read (time.Now) in a deterministic package; only injected clocks are allowed\n"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := Run(Options{Dir: root, Patterns: []string{"./..."}, BaselinePath: base,
+		Stdout: &stdout, Stderr: &stderr})
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want clean (stale entries alone must not fail)\nstderr: %s",
+			code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stale baseline entry (removable)") ||
+		!strings.Contains(stderr.String(), "gone.go") {
+		t.Errorf("stale entry not reported as removable:\n%s", stderr.String())
+	}
+}
+
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	root := writeTestModule(t, map[string]string{
+		"internal/fleetsim/clock.go": baselineClockProgram,
+	})
+	base := filepath.Join(root, ".ssdlint-baseline")
+	var stdout, stderr bytes.Buffer
+	code := Run(Options{Dir: root, Patterns: []string{"./..."}, BaselinePath: base,
+		WriteBaseline: true, Stdout: &stdout, Stderr: &stderr})
+	if code != ExitClean {
+		t.Fatalf("write-baseline exit = %d, want clean; stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	if !strings.Contains(string(data), "nondeterminism\tinternal/fleetsim/clock.go\t") {
+		t.Errorf("baseline content unexpected:\n%s", data)
+	}
+	// A rerun against the freshly written baseline is clean.
+	stdout.Reset()
+	stderr.Reset()
+	code = Run(Options{Dir: root, Patterns: []string{"./..."}, BaselinePath: base,
+		Stdout: &stdout, Stderr: &stderr})
+	if code != ExitClean {
+		t.Fatalf("rerun exit = %d, want clean\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+func TestMalformedBaselineIsAnError(t *testing.T) {
+	root := writeTestModule(t, map[string]string{
+		"internal/report/ok.go": "package report\n\nfunc OK() int { return 1 }\n",
+	})
+	base := filepath.Join(root, ".ssdlint-baseline")
+	if err := os.WriteFile(base, []byte("not a valid entry line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := Run(Options{Dir: root, Patterns: []string{"./..."}, BaselinePath: base,
+		Stdout: &stdout, Stderr: &stderr})
+	if code != ExitError {
+		t.Fatalf("exit = %d, want %d for malformed baseline", code, ExitError)
+	}
+}
+
+func TestMissingBaselineFileIsEmpty(t *testing.T) {
+	root := writeTestModule(t, map[string]string{
+		"internal/report/ok.go": "package report\n\nfunc OK() int { return 1 }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	code := Run(Options{Dir: root, Patterns: []string{"./..."},
+		BaselinePath: filepath.Join(root, "no-such-file"),
+		Stdout:       &stdout, Stderr: &stderr})
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want clean with a missing baseline file\nstderr: %s",
+			code, stderr.String())
+	}
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// clockPkgs is the clockpath scope: the serving daemon, whose PR-3
+// clock-injection seam (serve.Config.Clock) exists precisely so that
+// frozen-clock tests cover every handler's latency and age metrics.
+var clockPkgs = []string{
+	"internal/serve",
+}
+
+// ClockPathAnalyzer flags direct wall-clock reads — time.Now() or
+// time.Since() calls — in internal/serve. Taking time.Now as a value
+// (the `if clock == nil { clock = time.Now }` default) IS the injection
+// seam and stays legal; calling it directly bypasses the seam and makes
+// the code untestable under a frozen clock.
+func ClockPathAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "clockpath",
+		Doc: "flags direct time.Now()/time.Since() calls in internal/serve outside " +
+			"the clock-injection seam (binding time.Now as a default is the seam)",
+		InScope: scopePackages("clockpath", clockPkgs, nil),
+		Check:   checkClockPath,
+	}
+}
+
+func checkClockPath(p *Package, inScope func(*ast.File) bool, report func(pos token.Pos, msg string)) {
+	for _, file := range p.Files {
+		if !inScope(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := timeFunc(useOf(p.Info, call.Fun)); name != "" {
+				report(call.Pos(), fmt.Sprintf(
+					"direct wall-clock read time.%s() in internal/serve; route it through the injected clock (serve.Config.Clock)",
+					name))
+			}
+			return true
+		})
+	}
+}

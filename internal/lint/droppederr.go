@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// durabilityMethods are the calls whose error return must not be
+// discarded in the durability-critical packages: a swallowed fsync or
+// close error means the daemon acknowledged data the disk never got.
+var durabilityMethods = map[string]bool{
+	"Sync": true, "Flush": true, "Close": true,
+	"Write": true, "WriteString": true, "WriteTo": true,
+}
+
+// durabilityPkgs is the droppederr scope: the write-ahead log and the
+// serving daemon that journals through it.
+var durabilityPkgs = []string{
+	"internal/wal",
+	"internal/serve",
+}
+
+// DroppedErrAnalyzer flags discarded error returns from Sync, Flush,
+// Close, and Write(-family) calls in internal/wal and internal/serve —
+// as an expression statement, behind defer, or assigned to the blank
+// identifier.
+func DroppedErrAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "droppederr",
+		Doc: "flags discarded errors from Sync/Flush/Close/Write in internal/wal " +
+			"and internal/serve, where a swallowed fsync error is a durability hole",
+		InScope: scopePackages("droppederr", durabilityPkgs, nil),
+		Check:   checkDroppedErr,
+	}
+}
+
+func checkDroppedErr(p *Package, inScope func(*ast.File) bool, report func(pos token.Pos, msg string)) {
+	for _, file := range p.Files {
+		if !inScope(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, desc := durabilityCall(p, call); name != "" {
+						report(call.Pos(), fmt.Sprintf(
+							"error from %s discarded; check it — a swallowed %s failure is a durability hole",
+							desc, name))
+					}
+				}
+			case *ast.DeferStmt:
+				if name, desc := durabilityCall(p, n.Call); name != "" {
+					report(n.Call.Pos(), fmt.Sprintf(
+						"error from deferred %s discarded; close explicitly on the success path and check the error",
+						desc))
+					_ = name
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, desc := durabilityCall(p, call)
+				if name == "" {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" && resultIsError(p.Info, call, i, len(n.Lhs)) {
+						report(n.Pos(), fmt.Sprintf(
+							"error from %s assigned to _; check it — a swallowed %s failure is a durability hole",
+							desc, name))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// durabilityCall reports whether call invokes a durability-critical
+// method (by name) that returns an error. It returns the method name
+// and a printable call description, or "" when the call is not in
+// scope.
+func durabilityCall(p *Package, call *ast.CallExpr) (name, desc string) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		desc = exprString(p.Fset, fun.X) + "." + name
+	case *ast.Ident:
+		name = fun.Name
+		desc = name
+	default:
+		return "", ""
+	}
+	if !durabilityMethods[name] {
+		return "", ""
+	}
+	if !returnsError(p.Info, call) {
+		return "", ""
+	}
+	return name, desc
+}
+
+// returnsError reports whether the call's result includes an error
+// (single error result or an error-typed last tuple element).
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+// resultIsError reports whether result i of the call (which has nLHS
+// results consumed) is the error.
+func resultIsError(info *types.Info, call *ast.CallExpr, i, nLHS int) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if i >= t.Len() || nLHS != t.Len() {
+			return false
+		}
+		return isErrorType(t.At(i).Type())
+	default:
+		return nLHS == 1 && i == 0 && isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

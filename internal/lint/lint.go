@@ -1,0 +1,125 @@
+// Package lint implements ssdlint, a dependency-free static-analysis
+// pass over this module built on the standard library's go/parser,
+// go/ast, and go/types. It enforces the source-level contracts the
+// paper reproduction depends on:
+//
+//   - nondeterminism: the experiment pipeline (fleetsim, dataset, ml,
+//     expgrid, experiments, loadgen schedule construction) must produce
+//     bit-identical outputs at any worker count, so wall-clock reads
+//     and global math/rand draws are banned there — only injected
+//     clocks and key-derived seeds are legal.
+//   - maporder: iterating a Go map feeds emission (appends, writers,
+//     encoders, hashes) in a random order; without an intervening sort
+//     that quietly destroys schedule hashes and byte-equality goldens.
+//   - droppederr: in internal/wal and internal/serve a swallowed error
+//     from Sync, Flush, Close, or Write is a durability hole — an
+//     fsync failure the operator never hears about.
+//   - clockpath: internal/serve routes time through an injected clock
+//     seam so frozen-clock tests cover every handler; direct
+//     time.Now()/time.Since() calls bypass it.
+//
+// Findings can be suppressed inline with
+//
+//	//ssdlint:allow <analyzer> <reason>
+//
+// on (or immediately above) the offending line, and pre-existing
+// accepted findings can be parked in a committed baseline file so they
+// do not block CI while new ones still do.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"` // module-relative path
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+// String renders the finding in the classic file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// A Package is one loaded, type-checked package handed to analyzers.
+type Package struct {
+	Path  string // import path, e.g. ssdfail/internal/serve
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// An Analyzer is one named check. Check is only invoked for files the
+// analyzer's scope admits; report attributes the finding.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// InScope reports whether the analyzer applies to the given file of
+	// the given package. Fixture packages under a testdata/<name>
+	// directory are always in scope for analyzer <name>, so the
+	// committed fixtures exercise every analyzer end to end.
+	InScope func(pkgPath, filename string) bool
+	Check   func(p *Package, inScope func(*ast.File) bool, report func(pos token.Pos, msg string))
+}
+
+// Analyzers returns the full analyzer set in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NondeterminismAnalyzer(),
+		MapOrderAnalyzer(),
+		DroppedErrAnalyzer(),
+		ClockPathAnalyzer(),
+	}
+}
+
+// AnalyzerNames returns the known analyzer names in stable order.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// run applies every analyzer to one package and returns raw findings
+// (suppressions and baseline are applied by the caller).
+func run(p *Package, analyzers []*Analyzer, rel func(string) string) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		inScope := func(f *ast.File) bool {
+			return a.InScope(p.Path, p.Fset.Position(f.Pos()).Filename)
+		}
+		any := false
+		for _, f := range p.Files {
+			if inScope(f) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		a.Check(p, inScope, func(pos token.Pos, msg string) {
+			position := p.Fset.Position(pos)
+			out = append(out, Finding{
+				Analyzer: a.Name,
+				Pos:      position,
+				File:     rel(position.Filename),
+				Line:     position.Line,
+				Col:      position.Column,
+				Message:  msg,
+			})
+		})
+	}
+	return out
+}

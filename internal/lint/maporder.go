@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// emissionMethods are method names whose call inside a map-range body
+// makes the iteration order observable: bytes leave through a writer,
+// an encoder, a hash, or an ordered accumulator (report tables, the
+// conformance violation list). AddRow and addf are this repo's ordered
+// table/violation accumulators.
+var emissionMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Encode": true, "AddRow": true, "addf": true,
+}
+
+// MapOrderAnalyzer flags for-range loops over maps whose body makes the
+// random iteration order observable — appending to a slice that is
+// never subsequently sorted, or writing to a writer/encoder/hash.
+// This is the exact bug class that would quietly destroy schedule
+// hashes, snapshot byte-equality, and golden-file tests: the code is
+// correct on every run and byte-identical on none.
+func MapOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc: "flags map iteration feeding a slice (with no later sort), writer, " +
+			"encoder, or hash, where the random order becomes observable output",
+		InScope: scopeAll("maporder"),
+		Check:   checkMapOrder,
+	}
+}
+
+func checkMapOrder(p *Package, inScope func(*ast.File) bool, report func(pos token.Pos, msg string)) {
+	for _, file := range p.Files {
+		if !inScope(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapOrderFunc(p, fd.Body, report)
+		}
+	}
+}
+
+func checkMapOrderFunc(p *Package, body *ast.BlockStmt, report func(pos token.Pos, msg string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(p.Info, rs.X) {
+			return true
+		}
+		checkMapRangeBody(p, body, rs, report)
+		return true
+	})
+}
+
+// isMapType reports whether e has map type (through named types and
+// aliases).
+func isMapType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRangeBody inspects one map-range loop. funcBody is the whole
+// enclosing function body: a sort call anywhere after the loop that
+// mentions the appended slice legitimizes the collect-then-sort idiom.
+func checkMapRangeBody(p *Package, funcBody *ast.BlockStmt, rs *ast.RangeStmt, report func(pos token.Pos, msg string)) {
+	reported := false // one finding per loop is enough
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map-range gets its own check; its body's
+			// emissions are attributed there, not doubly here. A nested
+			// range over a slice keeps the outer map's order observable,
+			// so only map-ranges are skipped.
+			if n != rs && isMapType(p.Info, n.X) {
+				return false
+			}
+		case *ast.CallExpr:
+			if name, recv := emissionCall(p, n); name != "" {
+				reported = true
+				report(n.Pos(), fmt.Sprintf(
+					"map iteration order reaches %s via %s; iterate sorted keys instead",
+					recv, name))
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p.Info, call) || len(call.Args) == 0 {
+					continue
+				}
+				target := rootIdentObj(p.Info, call.Args[0])
+				if target == nil || declaredWithin(target, rs) {
+					continue
+				}
+				if sortedAfter(p, funcBody, rs, target) {
+					continue
+				}
+				reported = true
+				report(n.Pos(), fmt.Sprintf(
+					"%q is appended in map iteration order and never sorted afterwards; sort it or iterate sorted keys",
+					target.Name()))
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// emissionCall classifies a call inside a map-range body: a method in
+// emissionMethods, or an fmt.Fprint* into a writer. It returns the
+// called name and a printable receiver ("the writer" for fmt calls).
+func emissionCall(p *Package, call *ast.CallExpr) (name, recv string) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj := p.Info.Uses[fun.Sel]
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			switch fn.Name() {
+			case "Fprint", "Fprintf", "Fprintln":
+				return "fmt." + fn.Name(), "the writer"
+			}
+		}
+		// A package-qualified call (sort.Strings, json.Marshal) is not a
+		// method on a stateful receiver; only flag true method calls.
+		if _, isPkg := p.Info.Uses[fun.Sel].(*types.Func); isPkg {
+			if id, ok := fun.X.(*ast.Ident); ok {
+				if _, isPkgName := p.Info.Uses[id].(*types.PkgName); isPkgName {
+					return "", ""
+				}
+			}
+		}
+		if emissionMethods[fun.Sel.Name] {
+			return fun.Sel.Name, exprString(p.Fset, fun.X)
+		}
+	}
+	return "", ""
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootIdentObj resolves the variable at the root of an expression like
+// x, x.f, or x[i] — the thing whose final order the append determines.
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[t]; obj != nil {
+				return obj
+			}
+			return info.Defs[t]
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj is declared inside the range
+// statement — appends to loop-local slices don't outlive an iteration's
+// order decision in a way the loop itself can observe.
+func declaredWithin(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+}
+
+// sortedAfter reports whether, after the range loop, the enclosing
+// function calls into package sort or slices with the appended variable
+// among the arguments — the collect-keys-then-sort idiom.
+func sortedAfter(p *Package, funcBody *ast.BlockStmt, rs *ast.RangeStmt, target types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && p.Info.Uses[id] == target {
+					mentioned = true
+					return false
+				}
+				return true
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders a short source form of an expression for messages.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Options configures one linter run.
+type Options struct {
+	// Dir anchors module discovery and relative patterns (the process
+	// working directory in the CLI).
+	Dir string
+	// Patterns are package patterns: ./..., ./internal/serve,
+	// internal/wal/..., or full import paths.
+	Patterns []string
+	// JSON switches the finding output from file:line:col text to a
+	// JSON array.
+	JSON bool
+	// BaselinePath, when set, loads the committed baseline: findings
+	// matching it do not fail the run, and entries matching nothing are
+	// reported as removable.
+	BaselinePath string
+	// WriteBaseline rewrites BaselinePath with the current findings
+	// instead of failing on them.
+	WriteBaseline bool
+
+	Stdout, Stderr io.Writer
+}
+
+// Exit codes: 0 clean, 1 findings, 2 usage or load failure.
+const (
+	ExitClean    = 0
+	ExitFindings = 1
+	ExitError    = 2
+)
+
+// Run executes the linter and returns the process exit code.
+func Run(opts Options) int {
+	if opts.Stdout == nil {
+		opts.Stdout = os.Stdout
+	}
+	if opts.Stderr == nil {
+		opts.Stderr = os.Stderr
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(opts.Stderr, "ssdlint: %v\n", err)
+		return ExitError
+	}
+	if opts.WriteBaseline && opts.BaselinePath == "" {
+		return fail(fmt.Errorf("-write-baseline requires -baseline"))
+	}
+	if len(opts.Patterns) == 0 {
+		return fail(fmt.Errorf("no packages named; try ./..."))
+	}
+	root, module, err := FindModule(opts.Dir)
+	if err != nil {
+		return fail(err)
+	}
+	loader := NewLoader(root, module)
+	paths, err := loader.ExpandPatterns(opts.Dir, opts.Patterns)
+	if err != nil {
+		return fail(err)
+	}
+	if len(paths) == 0 {
+		return fail(fmt.Errorf("no packages matched %v", opts.Patterns))
+	}
+
+	analyzers := Analyzers()
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, path := range paths {
+		p, err := loader.Load(path)
+		if err != nil {
+			return fail(err)
+		}
+		raw := run(p, analyzers, loader.Rel)
+		allows, misuse := collectAllows(p, known, loader.Rel)
+		for _, f := range raw {
+			if !suppressed(f, allows) {
+				findings = append(findings, f)
+			}
+		}
+		// Directive misuse is never suppressible: a typo in an allow
+		// comment must not be able to silence itself.
+		findings = append(findings, misuse...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
+	if opts.WriteBaseline {
+		if err := os.WriteFile(opts.BaselinePath, FormatBaseline(findings), 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(opts.Stderr, "ssdlint: wrote %d baseline entr%s to %s\n",
+			len(findings), plural(len(findings), "y", "ies"), opts.BaselinePath)
+		return ExitClean
+	}
+
+	fresh := findings
+	if opts.BaselinePath != "" {
+		baseline, err := LoadBaseline(opts.BaselinePath)
+		if err != nil {
+			return fail(err)
+		}
+		var stale []string
+		fresh, stale = baseline.Filter(findings)
+		for _, s := range stale {
+			fmt.Fprintf(opts.Stderr, "ssdlint: stale baseline entry (removable): %s\n", s)
+		}
+	}
+
+	if opts.JSON {
+		out := fresh
+		if out == nil {
+			out = []Finding{}
+		}
+		enc := json.NewEncoder(opts.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return fail(err)
+		}
+	} else {
+		for _, f := range fresh {
+			fmt.Fprintln(opts.Stdout, f)
+		}
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(opts.Stderr, "ssdlint: %d finding%s\n", len(fresh), plural(len(fresh), "", "s"))
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //ssdlint:allow comment.
+type allowDirective struct {
+	File     string // module-relative
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+const allowPrefix = "//ssdlint:allow"
+
+// MetaAnalyzer is the pseudo-analyzer name used for diagnostics about
+// ssdlint's own directives (malformed allow comments). Meta findings
+// are never suppressible — a wrong analyzer name in an allow comment
+// must fail loudly, not silence itself.
+const MetaAnalyzer = "ssdlint"
+
+// collectAllows scans a package's comments for allow directives,
+// returning both the well-formed directives and meta findings for the
+// malformed ones: an unknown analyzer name or a missing reason is an
+// error, so a typo cannot silently turn a suppression into a no-op.
+func collectAllows(p *Package, known map[string]bool, rel func(string) string) (allows []allowDirective, misuse []Finding) {
+	report := func(pos token.Pos, msg string) {
+		position := p.Fset.Position(pos)
+		misuse = append(misuse, Finding{
+			Analyzer: MetaAnalyzer,
+			Pos:      position,
+			File:     rel(position.Filename),
+			Line:     position.Line,
+			Col:      position.Column,
+			Message:  msg,
+		})
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "allow directive names no analyzer; want //ssdlint:allow <analyzer> <reason>")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(c.Pos(), fmt.Sprintf("allow directive names unknown analyzer %q; known: %s",
+						name, strings.Join(AnalyzerNames(), ", ")))
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+				if reason == "" {
+					report(c.Pos(), fmt.Sprintf("allow directive for %q gives no reason; suppressions must be explained", name))
+					continue
+				}
+				position := p.Fset.Position(c.Pos())
+				allows = append(allows, allowDirective{
+					File:     rel(position.Filename),
+					Line:     position.Line,
+					Analyzer: name,
+					Reason:   reason,
+				})
+			}
+		}
+	}
+	return allows, misuse
+}
+
+// suppressed reports whether a finding is covered by an allow
+// directive: same file, same analyzer, and the directive sits on the
+// finding's line (trailing comment) or the line above (standalone
+// comment).
+func suppressed(f Finding, allows []allowDirective) bool {
+	for _, a := range allows {
+		if a.Analyzer == f.Analyzer && a.File == f.File &&
+			(a.Line == f.Line || a.Line == f.Line-1) {
+			return true
+		}
+	}
+	return false
+}

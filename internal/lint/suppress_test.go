@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runOnModule(t *testing.T, files map[string]string, opts Options) (int, string, string) {
+	t.Helper()
+	root := writeTestModule(t, files)
+	var stdout, stderr bytes.Buffer
+	opts.Dir = root
+	if opts.Patterns == nil {
+		opts.Patterns = []string{"./..."}
+	}
+	opts.Stdout = &stdout
+	opts.Stderr = &stderr
+	return Run(opts), stdout.String(), stderr.String()
+}
+
+func TestAllowSuppressesFinding(t *testing.T) {
+	code, stdout, stderr := runOnModule(t, map[string]string{
+		"internal/fleetsim/clock.go": `package fleetsim
+
+import "time"
+
+func Stamp() time.Time {
+	//ssdlint:allow nondeterminism boot banner only, never feeds the simulation
+	return time.Now()
+}
+`,
+	}, Options{})
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want clean\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+func TestAllowTrailingComment(t *testing.T) {
+	code, stdout, _ := runOnModule(t, map[string]string{
+		"internal/fleetsim/clock.go": `package fleetsim
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //ssdlint:allow nondeterminism boot banner only
+}
+`,
+	}, Options{})
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want clean\nstdout: %s", code, stdout)
+	}
+}
+
+// TestAllowWrongAnalyzerStillFails is the contract the satellite task
+// names: a typo'd analyzer name must not silently suppress anything —
+// the original finding survives AND the malformed directive is itself
+// a finding.
+func TestAllowWrongAnalyzerStillFails(t *testing.T) {
+	code, stdout, _ := runOnModule(t, map[string]string{
+		"internal/fleetsim/clock.go": `package fleetsim
+
+import "time"
+
+func Stamp() time.Time {
+	//ssdlint:allow nondetreminism oops, typo in the analyzer name
+	return time.Now()
+}
+`,
+	}, Options{})
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want findings", code)
+	}
+	if !strings.Contains(stdout, "unknown analyzer") {
+		t.Errorf("malformed directive not reported:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "wall clock read") {
+		t.Errorf("original finding was suppressed by a typo'd directive:\n%s", stdout)
+	}
+}
+
+func TestAllowWithoutReasonFails(t *testing.T) {
+	code, stdout, _ := runOnModule(t, map[string]string{
+		"internal/fleetsim/clock.go": `package fleetsim
+
+import "time"
+
+func Stamp() time.Time {
+	//ssdlint:allow nondeterminism
+	return time.Now()
+}
+`,
+	}, Options{})
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want findings", code)
+	}
+	if !strings.Contains(stdout, "gives no reason") {
+		t.Errorf("reasonless directive not reported:\n%s", stdout)
+	}
+}
+
+func TestAllowWrongLineDoesNotSuppress(t *testing.T) {
+	code, stdout, _ := runOnModule(t, map[string]string{
+		"internal/fleetsim/clock.go": `package fleetsim
+
+import "time"
+
+//ssdlint:allow nondeterminism directive is three lines above the read
+// padding
+// padding
+func Stamp() time.Time { return time.Now() }
+`,
+	}, Options{})
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want findings (directive too far from the read)\n%s", code, stdout)
+	}
+}
+
+func TestAllowForOtherAnalyzerDoesNotSuppress(t *testing.T) {
+	code, stdout, _ := runOnModule(t, map[string]string{
+		"internal/fleetsim/clock.go": `package fleetsim
+
+import "time"
+
+func Stamp() time.Time {
+	//ssdlint:allow maporder wrong analyzer for this finding
+	return time.Now()
+}
+`,
+	}, Options{})
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want findings: an allow for a different analyzer must not suppress\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "wall clock read") {
+		t.Errorf("expected the nondeterminism finding to survive:\n%s", stdout)
+	}
+}

@@ -1,0 +1,28 @@
+// Package fixture exercises the clockpath analyzer.
+package fixture
+
+import "time"
+
+type server struct {
+	now func() time.Time
+}
+
+func newServer(clock func() time.Time) *server {
+	if clock == nil {
+		clock = time.Now // binding the default IS the seam: legal
+	}
+	return &server{now: clock}
+}
+
+func (s *server) uptime(start time.Time) time.Duration {
+	return s.now().Sub(start) // injected clock: legal
+}
+
+func direct(start time.Time) time.Duration {
+	_ = time.Now()           // want "direct wall-clock read time.Now()"
+	return time.Since(start) // want "direct wall-clock read time.Since()"
+}
+
+func allowedDirect() time.Time {
+	return time.Now() //ssdlint:allow clockpath process start stamp, taken once before the seam exists
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the droppederr analyzer.
+package fixture
+
+import "fmt"
+
+// file stands in for a WAL segment handle.
+type file struct{}
+
+func (file) Sync() error                 { return nil }
+func (file) Flush() error                { return nil }
+func (file) Close() error                { return nil }
+func (file) Write(p []byte) (int, error) { return len(p), nil }
+func (file) Name() string                { return "seg" }
+
+func dropped(f file) {
+	f.Sync()  // want "error from f.Sync discarded"
+	f.Flush() // want "error from f.Flush discarded"
+	f.Close() // want "error from f.Close discarded"
+}
+
+func deferred(f file) {
+	defer f.Close() // want "error from deferred f.Close discarded"
+}
+
+func blanked(f file) int {
+	n, _ := f.Write([]byte("x")) // want "error from f.Write assigned to _"
+	return n
+}
+
+func handledOK(f file) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("sync: %w", err)
+	}
+	n, err := f.Write(nil)
+	_ = n
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func noErrorResultOK(f file) {
+	_ = f.Name() // Name returns no error: legal
+}
+
+func allowedDrop(f file) {
+	f.Close() //ssdlint:allow droppederr read-only handle, close error carries no data loss
+}

@@ -1,0 +1,91 @@
+// Package fixture exercises the maporder analyzer.
+package fixture
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // plain counting loop below stays legal
+		keys = append(keys, k) // want "appended in map iteration order and never sorted"
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted two lines down: legal
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendThenSliceSort(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func writeInOrder(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %d\n", k, v) // want "map iteration order reaches the writer via fmt.Fprintf"
+	}
+}
+
+func hashInOrder(m map[string]uint64) [32]byte {
+	h := sha256.New()
+	for k := range m {
+		h.Write([]byte(k)) // want "map iteration order reaches h via Write"
+	}
+	return [32]byte(h.Sum(nil))
+}
+
+func builderInOrder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "map iteration order reaches sb via WriteString"
+	}
+	return sb.String()
+}
+
+func mapToMapOK(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // writing map entries is order-independent: legal
+	}
+	return out
+}
+
+func sumOK(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // commutative fold: legal
+	}
+	return total
+}
+
+func loopLocalOK(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...) // loop-local slice: legal
+		total += len(local)
+	}
+	return total
+}
+
+func allowedEmission(w io.Writer, m map[string]int) {
+	for k := range m {
+		//ssdlint:allow maporder duplicate-tolerant debug trace, order irrelevant
+		fmt.Fprintln(w, k)
+	}
+}

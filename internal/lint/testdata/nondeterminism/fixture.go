@@ -1,0 +1,55 @@
+// Package fixture exercises the nondeterminism analyzer. Annotated
+// lines must produce a finding whose message contains the quoted
+// substring; unmarked lines must stay clean.
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// Schedule stands in for a seed-derived artifact.
+type Schedule struct {
+	Seed  int64
+	Clock func() time.Time
+}
+
+func wallClock() time.Duration {
+	start := time.Now()                // want "wall clock read (time.Now)"
+	_ = time.Since(start)              // want "wall clock read (time.Since)"
+	later := time.Now().Add(time.Hour) // want "wall clock read (time.Now)"
+	return later.Sub(start)
+}
+
+func globalRand() float64 {
+	n := rand.Intn(10)                 // want "global math/rand source used (rand.Intn)"
+	f := rand.Float64()                // want "global math/rand source used (rand.Float64)"
+	rand.Shuffle(n, func(i, j int) {}) // want "global math/rand source used (rand.Shuffle)"
+	_ = randv2.N(int64(4))             // want "global math/rand source used (rand.N)"
+	return f
+}
+
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}
+
+func seededOK(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // seeded constructor: legal
+	pcg := randv2.New(randv2.NewPCG(1, uint64(seed)))
+	return rng.Float64() + pcg.Float64() // methods on an explicit source: legal
+}
+
+func injectedClockOK(s *Schedule) time.Time {
+	// Reading an injected clock is the blessed pattern.
+	return s.Clock()
+}
+
+func allowedWallClock() time.Time {
+	//ssdlint:allow nondeterminism benchmark wall time only, never feeds results
+	return time.Now()
+}
+
+func allowedTrailing() time.Time {
+	return time.Now() //ssdlint:allow nondeterminism fixture demonstrates trailing suppression
+}

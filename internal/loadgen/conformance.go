@@ -254,17 +254,26 @@ func verifyAccounting(res *Result, v *violations) {
 			shed[handler] = float64(n)
 		}
 	}
+	shedSeries := make([]string, 0, len(final))
 	for s := range final {
-		if !strings.HasPrefix(s, "ssdserved_load_shed_total{") {
-			continue
+		if strings.HasPrefix(s, "ssdserved_load_shed_total{") {
+			shedSeries = append(shedSeries, s)
 		}
+	}
+	sort.Strings(shedSeries)
+	for _, s := range shedSeries {
 		handler := strings.TrimSuffix(strings.TrimPrefix(s, `ssdserved_load_shed_total{handler="`), `"}`)
 		if d := metricDelta(base, final, s); d != shed[handler] {
 			v.addf("%s advanced by %.0f, client saw %.0f sheds", s, d, shed[handler])
 		}
 		delete(shed, handler)
 	}
-	for handler, n := range shed {
-		v.addf("client saw %.0f sheds for %s but no load_shed series moved", n, handler)
+	missed := make([]string, 0, len(shed))
+	for handler := range shed {
+		missed = append(missed, handler)
+	}
+	sort.Strings(missed)
+	for _, handler := range missed {
+		v.addf("client saw %.0f sheds for %s but no load_shed series moved", shed[handler], handler)
 	}
 }

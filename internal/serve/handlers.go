@@ -146,7 +146,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		store:     NewStore(cfg.Shards, cfg.History),
-		registry:  NewRegistry(cfg.ModelPath),
+		registry:  NewRegistry(cfg.ModelPath, clock),
 		scorer:    NewScorer(cfg.Workers),
 		metrics:   NewMetrics(),
 		now:       clock,
@@ -154,7 +154,6 @@ func New(cfg Config) (*Server, error) {
 		ingestSem: make(chan struct{}, cfg.MaxInflightIngest),
 		scoreSem:  make(chan struct{}, cfg.MaxInflightScores),
 	}
-	s.registry.now = clock
 	if err := s.loadModelWithRetry(); err != nil {
 		return nil, err
 	}
@@ -708,5 +707,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", MetricsContentType)
-	s.metrics.WriteTo(w) //nolint:errcheck // client gone; nothing to do
+	//ssdlint:allow droppederr scrape write failed means the client hung up; nothing durable is at stake
+	s.metrics.WriteTo(w)
 }

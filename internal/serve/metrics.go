@@ -164,12 +164,13 @@ func formatBound(b float64) string {
 
 // CounterVec is a family of counters keyed by label values (e.g. HTTP
 // handler and status code). Series are created lazily on first use and
-// reported in creation order.
+// reported sorted by label set, so two scrapes of the same state are
+// byte-identical regardless of which series happened to be touched
+// first.
 type CounterVec struct {
 	labels []string
 	mu     sync.Mutex
 	series map[string]*Counter
-	order  []string
 }
 
 // NewCounterVec registers and returns a labeled counter family.
@@ -179,7 +180,12 @@ func (ms *Metrics) NewCounterVec(name, help string, labels ...string) *CounterVe
 		collect: func(emit emitFunc) {
 			cv.mu.Lock()
 			defer cv.mu.Unlock()
-			for _, key := range cv.order {
+			keys := make([]string, 0, len(cv.series))
+			for key := range cv.series {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
 				emit(name+key, float64(cv.series[key].Value()))
 			}
 		}})
@@ -208,7 +214,6 @@ func (cv *CounterVec) With(values ...string) *Counter {
 	if !ok {
 		c = &Counter{}
 		cv.series[key] = c
-		cv.order = append(cv.order, key)
 	}
 	return c
 }

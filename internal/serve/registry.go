@@ -42,8 +42,16 @@ type Registry struct {
 }
 
 // NewRegistry points a registry at a predictor file written by
-// core.Predictor.Save. Nothing is loaded until Load is called.
-func NewRegistry(path string) *Registry { return &Registry{path: path, now: time.Now} }
+// core.Predictor.Save. Nothing is loaded until Load is called. now
+// stamps ModelInfo.LoadedAt; nil uses the wall clock, servers pass
+// their injected clock so reload timestamps follow the same time
+// source as everything else they report.
+func NewRegistry(path string, now func() time.Time) *Registry {
+	if now == nil {
+		now = time.Now // binding the wall clock as the default seam
+	}
+	return &Registry{path: path, now: now}
+}
 
 // Load reads, validates, and atomically publishes the predictor file.
 // On any error the previously published model keeps serving. The new

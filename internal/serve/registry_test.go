@@ -16,7 +16,7 @@ import (
 )
 
 func TestRegistryLoadAndVersioning(t *testing.T) {
-	r := NewRegistry(fixModelPath)
+	r := NewRegistry(fixModelPath, nil)
 	if _, _, ok := r.Current(); ok {
 		t.Fatal("model present before Load")
 	}
@@ -56,7 +56,7 @@ func TestRegistryFailedLoadKeepsOldModel(t *testing.T) {
 	if err := os.WriteFile(path, valid, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	r := NewRegistry(path)
+	r := NewRegistry(path, nil)
 	if _, err := r.Load(); err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestRegistryFailedLoadKeepsOldModel(t *testing.T) {
 // Run under -race this doubles as a data-race probe on the whole
 // registry/scorer path.
 func TestHotSwapNeverMixesModelsInABatch(t *testing.T) {
-	reg := NewRegistry(fixModelPath)
+	reg := NewRegistry(fixModelPath, nil)
 	if _, err := reg.Load(); err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +233,7 @@ func TestRegistryRejectsWidthMismatch(t *testing.T) {
 	if err := os.WriteFile(path, file, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err = NewRegistry(path).Load()
+	_, err = NewRegistry(path, nil).Load()
 	if err == nil || !strings.Contains(err.Error(), "feature width") {
 		t.Fatalf("width mismatch not rejected: %v", err)
 	}

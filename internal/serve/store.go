@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -166,10 +167,11 @@ func (s *Store) Get(id uint32) (DriveSnapshot, bool) {
 	}, true
 }
 
-// Drives copies the full rolling state of every tracked drive, ordered
-// by shard then map order. Shards are drained one at a time under their
-// read lock, so ingest proceeds on other shards concurrently; the copy
-// is the unit the durability layer snapshots.
+// Drives copies the full rolling state of every tracked drive, sorted
+// by drive ID. Shards are drained one at a time under their read lock,
+// so ingest proceeds on other shards concurrently; the copy is the unit
+// the durability layer snapshots, and the sort makes two snapshots of
+// the same state byte-identical.
 func (s *Store) Drives() []DriveSnapshot {
 	out := make([]DriveSnapshot, 0, s.Len())
 	for i := range s.shards {
@@ -184,6 +186,7 @@ func (s *Store) Drives() []DriveSnapshot {
 		}
 		sh.mu.RUnlock()
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -249,6 +252,7 @@ func (s *Store) ScoreUnits(sinceDay int32) []ScoreUnit {
 				u.Prev = st.recent[n-2]
 				u.HasPrev = true
 			}
+			//ssdlint:allow maporder scoring order is irrelevant: Rank sorts by score with an ID tie-break before anything is emitted
 			units = append(units, u)
 		}
 		sh.mu.RUnlock()

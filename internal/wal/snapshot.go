@@ -47,11 +47,11 @@ func (l *Log) WriteSnapshot(lsn uint64, payload []byte) error {
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
 	buf = append(buf, payload...)
 	if _, err := f.Write(buf); err != nil {
-		f.Close()
+		f.Close() //ssdlint:allow droppederr error-path cleanup of a temp file; the write failure already aborts the snapshot
 		return fmt.Errorf("wal: snapshot write: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		f.Close() //ssdlint:allow droppederr error-path cleanup of a temp file; the fsync failure already aborts the snapshot
 		return fmt.Errorf("wal: snapshot fsync: %w", err)
 	}
 	if err := f.Close(); err != nil {

@@ -369,7 +369,7 @@ func readAll(fsys faultfs.FS, path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //ssdlint:allow droppederr read-only descriptor; Close cannot lose data we have not already read
 	return io.ReadAll(f)
 }
 
@@ -520,7 +520,7 @@ func (l *Log) rotateLocked() error {
 		return fmt.Errorf("wal: opening segment: %w", err)
 	}
 	if err := l.opt.FS.SyncDir(l.opt.Dir); err != nil {
-		f.Close()
+		f.Close() //ssdlint:allow droppederr error-path cleanup of an empty just-opened segment; the dir fsync failure is returned
 		return fmt.Errorf("wal: syncing dir: %w", err)
 	}
 	l.f = f
