@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt vet baseline
+.PHONY: all build test race lint fmt vet baseline remedy-scenarios
 
 all: build lint test
 
@@ -23,6 +23,21 @@ lint:
 # known findings; the committed baseline is empty and should stay so.
 baseline:
 	$(GO) run ./cmd/ssdlint -baseline .ssdlint-baseline -write-baseline ./...
+
+# Replay every committed remediation scenario at two GOMAXPROCS
+# settings and diff the event logs against each other and the committed
+# goldens. Regenerate goldens after an intentional engine change with:
+#   go test ./internal/remedy/ -run Golden -update
+remedy-scenarios:
+	$(GO) build -o /tmp/ssdremedy ./cmd/ssdremedy
+	@set -e; for s in scenarios/*.json; do \
+		name=$$(basename $$s .json); \
+		GOMAXPROCS=1 /tmp/ssdremedy -scenario $$s -quiet -out /tmp/$$name.p1.eventlog; \
+		GOMAXPROCS=4 /tmp/ssdremedy -scenario $$s -quiet -out /tmp/$$name.p4.eventlog; \
+		diff -u /tmp/$$name.p1.eventlog /tmp/$$name.p4.eventlog; \
+		diff -u scenarios/golden/$$name.eventlog /tmp/$$name.p1.eventlog; \
+		echo "$$name: OK"; \
+	done
 
 fmt:
 	gofmt -l -w .

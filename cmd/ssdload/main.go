@@ -57,7 +57,9 @@ func run() int {
 		batch   = flag.Int("batch", 16, "records per ingest batch")
 		probe   = flag.Int("probe-every", 8, "interleave one read probe every N batches")
 		reload  = flag.Bool("reload-mid-run", true, "hot-swap the model at the midpoint of stream 0")
-		offset  = flag.Uint("drive-offset", 0,
+		remedy  = flag.Int("remedy-every", 0,
+			"interleave one remediation evaluation (POST /v1/remedy/evaluate) every N batches on stream 0 (0 = none)")
+		offset = flag.Uint("drive-offset", 0,
 			"shift replayed drive IDs; use a fresh offset per run against a long-lived daemon")
 
 		duration = flag.Duration("duration", 0, "abort the run after this long (0 = no limit)")
@@ -80,6 +82,7 @@ func run() int {
 		ProbeEvery:     *probe,
 		RatePerStream:  *rate,
 		ReloadMidRun:   *reload,
+		RemedyEvery:    *remedy,
 		DriveIDOffset:  uint32(*offset),
 	}
 	sched, err := loadgen.Build(cfg)

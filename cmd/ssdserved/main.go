@@ -41,6 +41,7 @@ import (
 
 	"ssdfail/internal/core"
 	"ssdfail/internal/ml/forest"
+	"ssdfail/internal/remedy"
 	"ssdfail/internal/serve"
 )
 
@@ -77,6 +78,16 @@ func run() error {
 		walSyncIntvl  = flag.Duration("wal-sync-interval", 0, "max time an accepted record may sit un-fsynced under group commit (0 = 100ms, negative disables the timer)")
 		snapshotEvery = flag.Int("snapshot-every", 0, "write a store snapshot every N accepted records (0 = 4096, -1 disables)")
 
+		remedyOn       = flag.Bool("remedy", false, "enable the remediation control plane (/v1/remedy/*)")
+		remedyThresh   = flag.Float64("remedy-threshold", 0.9, "remediation score threshold")
+		remedyCordon   = flag.Int("remedy-cordon-after", 3, "consecutive breaches before cordoning")
+		remedyUncordon = flag.Int("remedy-uncordon-after", 0, "consecutive clears before uncordoning (0 = same as cordon-after)")
+		remedyFrac     = flag.Float64("remedy-max-drain-fraction", 0.1, "max fraction of one drive model draining at once")
+		remedyDrain    = flag.Int("remedy-drain-ticks", 2, "evaluation ticks a drain takes before the swap")
+		remedySwapCost = flag.Float64("remedy-swap-cost", 1, "accounting cost of one swap")
+		remedyLossCost = flag.Float64("remedy-loss-cost", 20, "accounting cost of one unswapped failure")
+		remedySpares   = flag.Int("remedy-spares", 0, "spares stocked in the pool at startup")
+
 		maxIngest   = flag.Int("max-inflight-ingest", 0, "concurrent ingest requests before shedding with 429 (0 = 256)")
 		maxScores   = flag.Int("max-inflight-scores", 0, "concurrent watchlist scoring passes before shedding with 429 (0 = 4)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline (0 = 30s, negative disables)")
@@ -89,6 +100,19 @@ func run() error {
 	if *bootstrap {
 		if err := bootstrapModel(*modelPath, *seed, *drives, *lookahead, *trees, *workers); err != nil {
 			return fmt.Errorf("bootstrap: %v", err)
+		}
+	}
+
+	var remedyPolicy *remedy.Policy
+	if *remedyOn {
+		remedyPolicy = &remedy.Policy{
+			Threshold:        *remedyThresh,
+			CordonAfter:      *remedyCordon,
+			UncordonAfter:    *remedyUncordon,
+			MaxDrainFraction: *remedyFrac,
+			DrainTicks:       *remedyDrain,
+			SwapCost:         *remedySwapCost,
+			LossCost:         *remedyLossCost,
 		}
 	}
 
@@ -109,6 +133,8 @@ func run() error {
 		MaxInflightScores:  *maxScores,
 		RequestTimeout:     *reqTimeout,
 		ModelLoadAttempts:  *modelTries,
+		RemedyPolicy:       remedyPolicy,
+		RemedySpares:       *remedySpares,
 	})
 	if err != nil {
 		return err

@@ -8,21 +8,26 @@ import (
 
 // clockPkgs is the clockpath scope: the serving daemon, whose PR-3
 // clock-injection seam (serve.Config.Clock) exists precisely so that
-// frozen-clock tests cover every handler's latency and age metrics.
+// frozen-clock tests cover every handler's latency and age metrics, and
+// the remediation engine, whose only notion of time is the evaluation
+// tick — a wall-clock read there would break byte-identical scenario
+// replay.
 var clockPkgs = []string{
 	"internal/serve",
+	"internal/remedy",
 }
 
 // ClockPathAnalyzer flags direct wall-clock reads — time.Now() or
-// time.Since() calls — in internal/serve. Taking time.Now as a value
-// (the `if clock == nil { clock = time.Now }` default) IS the injection
-// seam and stays legal; calling it directly bypasses the seam and makes
-// the code untestable under a frozen clock.
+// time.Since() calls — in the clock-disciplined packages. Taking
+// time.Now as a value (the `if clock == nil { clock = time.Now }`
+// default) IS the injection seam and stays legal; calling it directly
+// bypasses the seam and makes the code untestable under a frozen clock.
 func ClockPathAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "clockpath",
-		Doc: "flags direct time.Now()/time.Since() calls in internal/serve outside " +
-			"the clock-injection seam (binding time.Now as a default is the seam)",
+		Doc: "flags direct time.Now()/time.Since() calls in clock-disciplined packages " +
+			"(internal/serve, internal/remedy) outside the clock-injection seam " +
+			"(binding time.Now as a default is the seam)",
 		InScope: scopePackages("clockpath", clockPkgs, nil),
 		Check:   checkClockPath,
 	}
@@ -40,8 +45,8 @@ func checkClockPath(p *Package, inScope func(*ast.File) bool, report func(pos to
 			}
 			if name := timeFunc(useOf(p.Info, call.Fun)); name != "" {
 				report(call.Pos(), fmt.Sprintf(
-					"direct wall-clock read time.%s() in internal/serve; route it through the injected clock (serve.Config.Clock)",
-					name))
+					"direct wall-clock read time.%s() in %s; route it through an injected clock (serve.Config.Clock) or the evaluation tick",
+					name, modRel(p.Path)))
 			}
 			return true
 		})

@@ -14,6 +14,7 @@ var deterministicPkgs = []string{
 	"internal/ml",
 	"internal/expgrid",
 	"internal/experiments",
+	"internal/remedy",
 }
 
 // deterministicFiles extends the contract to single files of packages

@@ -247,6 +247,14 @@ func verifyAccounting(res *Result, v *violations) {
 		}
 	}
 
+	// Remediation ticks: the daemon's evaluation counter must advance by
+	// exactly the number of ticks the client drove to completion (a 409
+	// from a remediation-disabled daemon is not a tick).
+	remedyOK := float64(res.Codes["remedy_evaluate"][http.StatusOK])
+	if d := metricDelta(base, final, "ssdremedy_evaluations_total"); d != remedyOK {
+		v.addf("ssdremedy_evaluations_total advanced by %.0f, client completed %.0f evaluations", d, remedyOK)
+	}
+
 	// Sheds: the daemon's 429s by handler are exactly the client's.
 	shed := make(map[string]float64)
 	for handler, byCode := range res.Codes {

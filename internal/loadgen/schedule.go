@@ -61,6 +61,12 @@ type Config struct {
 	// ReloadMidRun inserts one POST /v1/model/reload at the midpoint of
 	// stream 0, so every run exercises a hot swap under load.
 	ReloadMidRun bool
+	// RemedyEvery interleaves one POST /v1/remedy/evaluate (a
+	// remediation policy tick) after every RemedyEvery ingest batches on
+	// stream 0, so a remediation-enabled daemon is exercised under load.
+	// 0 schedules none. Against a daemon without -remedy the ticks
+	// answer 409, which still conformance-checks the accounting.
+	RemedyEvery int
 	// DriveIDOffset shifts every replayed drive's ID. Conformance needs
 	// drives and days the daemon has not already ingested — the store
 	// (correctly) rejects regressing days and model changes — so repeat
@@ -135,16 +141,17 @@ const (
 	OpModel
 	OpMetrics
 	OpReload
+	OpRemedyEvaluate
 )
 
-var opNames = [...]string{"ingest_batch", "watchlist", "drive", "model", "metrics", "model_reload"}
+var opNames = [...]string{"ingest_batch", "watchlist", "drive", "model", "metrics", "model_reload", "remedy_evaluate"}
 
 func (k OpKind) String() string { return opNames[k] }
 
 // Method returns the HTTP method for the op kind.
 func (k OpKind) Method() string {
 	switch k {
-	case OpIngestBatch, OpReload:
+	case OpIngestBatch, OpReload, OpRemedyEvaluate:
 		return "POST"
 	default:
 		return "GET"
@@ -188,6 +195,8 @@ type Schedule struct {
 	Drives map[uint32]DriveExpect
 	// Reloads is the number of scheduled model-reload ops.
 	Reloads int
+	// RemedyTicks is the number of scheduled remediation evaluations.
+	RemedyTicks int
 	// Hash is the SHA-256 of the canonical schedule serialization; equal
 	// configs yield equal hashes, making reproducibility checkable.
 	Hash string
@@ -299,6 +308,10 @@ func Build(cfg Config) (*Schedule, error) {
 			batches++
 			if batches%cfg.ProbeEvery == 0 {
 				ops = append(ops, probeOp(probeRNG, seen))
+			}
+			if s == 0 && cfg.RemedyEvery > 0 && batches%cfg.RemedyEvery == 0 {
+				ops = append(ops, Op{Kind: OpRemedyEvaluate, Path: "/v1/remedy/evaluate"})
+				sched.RemedyTicks++
 			}
 		}
 		sched.Streams[s].Ops = ops

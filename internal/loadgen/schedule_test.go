@@ -145,6 +145,57 @@ func TestBuildPreservesPerDriveOrder(t *testing.T) {
 	}
 }
 
+// TestBuildRemedyCadence checks the remediation-tick hook: ticks land
+// only on stream 0, at the configured batch cadence, are counted in
+// RemedyTicks, and change the schedule hash.
+func TestBuildRemedyCadence(t *testing.T) {
+	plain, err := Build(testConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(42)
+	cfg.RemedyEvery = 2
+	sched, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Hash == plain.Hash {
+		t.Fatal("remedy ticks did not change the schedule hash")
+	}
+	ticks := 0
+	for s := range sched.Streams {
+		batches := 0
+		for _, op := range sched.Streams[s].Ops {
+			switch op.Kind {
+			case OpIngestBatch:
+				batches++
+			case OpRemedyEvaluate:
+				if s != 0 {
+					t.Fatalf("remedy tick on stream %d, want only stream 0", s)
+				}
+				if op.Kind.Method() != "POST" || op.Path != "/v1/remedy/evaluate" {
+					t.Fatalf("remedy op = %+v", op)
+				}
+				if batches == 0 || batches%cfg.RemedyEvery != 0 {
+					t.Fatalf("remedy tick after %d batches, want a multiple of %d", batches, cfg.RemedyEvery)
+				}
+				ticks++
+			}
+		}
+	}
+	if ticks == 0 || ticks != sched.RemedyTicks {
+		t.Fatalf("ticks laid out = %d, sched.RemedyTicks = %d, want equal and nonzero", ticks, sched.RemedyTicks)
+	}
+	// Everything else is unchanged: remedy ticks add requests but no
+	// records.
+	if sched.TotalRecords != plain.TotalRecords {
+		t.Fatalf("records = %d, want %d", sched.TotalRecords, plain.TotalRecords)
+	}
+	if sched.TotalRequests != plain.TotalRequests+ticks {
+		t.Fatalf("requests = %d, want %d + %d ticks", sched.TotalRequests, plain.TotalRequests, ticks)
+	}
+}
+
 func TestBuildRejectsBadConfig(t *testing.T) {
 	cfg := testConfig(1)
 	cfg.Mode = "sideways"

@@ -1,0 +1,111 @@
+package remedy
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite scenario golden event logs")
+
+// scenariosDir is the committed scenario corpus, relative to this
+// package.
+const scenariosDir = "../../scenarios"
+
+func listScenarios(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(scenariosDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no scenarios under %s", scenariosDir)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// TestCommittedScenariosAgainstGoldens runs every scenario in
+// scenarios/, requires all of its assertions to hold, and diffs the
+// event log byte for byte against scenarios/golden/<name>.eventlog.
+// Run with -update to rewrite the goldens after an intentional engine
+// change.
+func TestCommittedScenariosAgainstGoldens(t *testing.T) {
+	for _, path := range listScenarios(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			sc, err := LoadScenario(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("assertion violations:\n%s", joinLines(res.Violations))
+			}
+			golden := filepath.Join(scenariosDir, "golden", sc.Name+".eventlog")
+			if *updateGolden {
+				if err := os.WriteFile(golden, res.EventLog, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(res.EventLog, want) {
+				t.Fatalf("event log drifted from golden %s:\n--- got ---\n%s--- want ---\n%s",
+					golden, res.EventLog, want)
+			}
+		})
+	}
+}
+
+// TestCommittedScenariosDeterministicAcrossGOMAXPROCS replays each
+// committed scenario at GOMAXPROCS 1 and at the machine's full width
+// and requires byte-identical event logs — the acceptance criterion
+// the CI job re-checks from the CLI.
+func TestCommittedScenariosDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	for _, path := range listScenarios(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			sc, err := LoadScenario(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runAt := func(procs int) []byte {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				res, err := Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.EventLog
+			}
+			narrow := runAt(1)
+			wide := runAt(runtime.NumCPU())
+			if !bytes.Equal(narrow, wide) {
+				t.Fatalf("event log differs between GOMAXPROCS=1 and %d:\n--- narrow ---\n%s--- wide ---\n%s",
+					runtime.NumCPU(), narrow, wide)
+			}
+			if len(narrow) == 0 {
+				t.Fatal("scenario produced no events; determinism check vacuous")
+			}
+		})
+	}
+}
+
+func joinLines(lines []string) string {
+	var b bytes.Buffer
+	for _, l := range lines {
+		b.WriteString("  " + l + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,202 @@
+// Package remedy is the remediation control plane that closes the loop
+// the paper leaves open: §5 motivates failure prediction with proactive
+// drive management, and the serving layer already ranks drives by
+// failure score at the Figure 15 low-FPR operating point — but a
+// watchlist nobody acts on protects no data. This package is the
+// actuator: a policy engine that consumes per-drive scores, walks each
+// drive through a cordon → drain → swap state machine against a live
+// spare pool (internal/sparepool.Pool), and accounts for what acting
+// early costs versus what not acting loses.
+//
+// The engine is deliberately boring in exactly the ways a control plane
+// must be:
+//
+//   - Hysteresis: one noisy score never cordons a drive. A drive must
+//     breach the threshold on CordonAfter consecutive evaluations to be
+//     cordoned, and sit below it for UncordonAfter consecutive
+//     evaluations to be released, so a flapping score cannot thrash the
+//     fleet.
+//   - Rate limits: draining drives stop serving, so the engine never
+//     admits more than MaxDrainFraction of one drive model into the
+//     draining state at once — a mispredicting model cannot take down
+//     its whole population. Admission is FIFO by cordon time.
+//   - Cost accounting at the operating point: every swap is charged
+//     SwapCost; every failure of an unremediated drive is charged
+//     LossCost. The summary compares the total against the do-nothing
+//     counterfactual, which is the paper's premature-swap versus
+//     data-loss trade made concrete.
+//   - Determinism: the engine has no clock and no RNG. Time is the
+//     evaluation tick; every decision is a pure function of the score
+//     sequence, so a remediation run replays bit-identically (the event
+//     log is the proof, and scenario goldens diff it byte for byte).
+//
+// Scenarios (scenario.go) drive the engine from declarative JSON files
+// — fleet, policy, timed score/fault events, assertions — executed by
+// Run (runner.go) and the ssdremedy CLI. The serving daemon embeds the
+// same engine behind /v1/remedy/* (internal/serve).
+package remedy
+
+import (
+	"fmt"
+
+	"ssdfail/internal/trace"
+)
+
+// State is a drive's position in the remediation lifecycle.
+type State uint8
+
+const (
+	// StateHealthy drives serve normally; scores are watched.
+	StateHealthy State = iota
+	// StateCordoned drives take no new data; the drive breached the
+	// threshold on CordonAfter consecutive evaluations and waits for a
+	// drain slot (rate limiter) — or for its score to clear.
+	StateCordoned
+	// StateDraining drives are migrating data off; the drain occupies
+	// one of the model's rate-limited slots for DrainTicks evaluations.
+	StateDraining
+	// StateSwapped drives have been replaced by a spare from the pool.
+	StateSwapped
+	// StateFailed drives failed in place before remediation finished.
+	StateFailed
+	numStates
+)
+
+var stateNames = [numStates]string{"healthy", "cordoned", "draining", "swapped", "failed"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// ParseState converts a state name back to a State.
+func ParseState(name string) (State, error) {
+	for i, n := range stateNames {
+		if n == name {
+			return State(i), nil
+		}
+	}
+	return 0, fmt.Errorf("remedy: unknown state %q", name)
+}
+
+// Score is one drive's failure score from an evaluation pass — the
+// shape the serve layer's watchlist produces.
+type Score struct {
+	DriveID uint32
+	Model   trace.Model
+	Score   float64
+}
+
+// Policy is the remediation operating point.
+type Policy struct {
+	// Threshold is the score at or above which a drive counts as
+	// breaching. The paper's Figure 15 low-FPR operating point (0.9)
+	// is the recommended default: act on few drives, almost all of
+	// which really are about to fail.
+	Threshold float64
+	// CordonAfter is the hysteresis m: consecutive breaching
+	// evaluations required before a healthy drive is cordoned. >= 1.
+	CordonAfter int
+	// UncordonAfter is the release hysteresis: consecutive clear
+	// evaluations required before a cordoned (not yet draining) drive
+	// returns to healthy. 0 means CordonAfter.
+	UncordonAfter int
+	// MaxDrainFraction is the rate limit k: the fraction of one drive
+	// model's live population allowed in StateDraining at once. The
+	// per-model cap is floor(k * live); a cap of zero admits nothing.
+	MaxDrainFraction float64
+	// DrainTicks is how many evaluations a drain occupies its slot
+	// before the swap is attempted. 0 swaps on the admission tick.
+	DrainTicks int
+	// SwapCost and LossCost price the trade the threshold tunes:
+	// each swap (premature or justified) costs SwapCost, each failure
+	// of a drive not yet swapped costs LossCost.
+	SwapCost float64
+	// LossCost is the cost of losing a drive's data in place.
+	LossCost float64
+}
+
+// DefaultPolicy is the Figure 15 low-FPR operating point with mild
+// hysteresis and a 10% per-model drain cap.
+func DefaultPolicy() Policy {
+	return Policy{
+		Threshold:        0.9,
+		CordonAfter:      3,
+		UncordonAfter:    0,
+		MaxDrainFraction: 0.1,
+		DrainTicks:       2,
+		SwapCost:         1,
+		LossCost:         20,
+	}
+}
+
+// withDefaults normalizes the zero-ish fields and validates ranges.
+func (p Policy) withDefaults() (Policy, error) {
+	if p.CordonAfter <= 0 {
+		p.CordonAfter = 1
+	}
+	if p.UncordonAfter <= 0 {
+		p.UncordonAfter = p.CordonAfter
+	}
+	if p.Threshold < 0 || p.Threshold > 1 {
+		return p, fmt.Errorf("remedy: threshold %v outside [0, 1]", p.Threshold)
+	}
+	if p.MaxDrainFraction < 0 || p.MaxDrainFraction > 1 {
+		return p, fmt.Errorf("remedy: max drain fraction %v outside [0, 1]", p.MaxDrainFraction)
+	}
+	if p.DrainTicks < 0 {
+		return p, fmt.Errorf("remedy: negative drain ticks %d", p.DrainTicks)
+	}
+	if p.SwapCost < 0 || p.LossCost < 0 {
+		return p, fmt.Errorf("remedy: negative cost (swap %v, loss %v)", p.SwapCost, p.LossCost)
+	}
+	return p, nil
+}
+
+// Stats is the engine's lifetime decision accounting.
+type Stats struct {
+	Evaluations uint64
+	Cordons     uint64
+	Uncordons   uint64
+	DrainStarts uint64
+	Swaps       uint64
+	Failures    uint64
+	// DataLosses is failures of drives not yet swapped (the model was
+	// too late, too conservative, or rate-limited); PreventedLosses is
+	// failures of drives that had already been swapped.
+	DataLosses      uint64
+	PreventedLosses uint64
+	// RateLimitedTicks counts (drive, evaluation) pairs where a
+	// cordoned drive was denied drain admission by the per-model cap.
+	RateLimitedTicks uint64
+	// PoolExhaustedTicks counts (drive, evaluation) pairs where a
+	// completed drain could not swap for lack of a spare.
+	PoolExhaustedTicks uint64
+	// SwapCost and LossCost are the accumulated charges.
+	SwapCost float64
+	LossCost float64
+}
+
+// TotalCost is the policy's realized cost: swaps plus data losses.
+func (s Stats) TotalCost() float64 { return s.SwapCost + s.LossCost }
+
+// Summary is the end-of-run verdict the cost model exists to produce.
+type Summary struct {
+	Stats Stats
+	// PrematureSwaps is swapped drives whose failure never arrived:
+	// the false-positive half of the Figure 15 trade, each one a
+	// healthy drive replaced for nothing but SwapCost.
+	PrematureSwaps uint64
+	// TotalCost = SwapCost + LossCost actually charged.
+	TotalCost float64
+	// DoNothingCost is the counterfactual: every failure that occurred
+	// (prevented or not) charged at LossCost with zero swaps.
+	DoNothingCost float64
+	// Savings = DoNothingCost - TotalCost. Positive means the policy
+	// paid for itself at this operating point.
+	Savings float64
+	// ByState counts drives per lifecycle state.
+	ByState [numStates]int
+}

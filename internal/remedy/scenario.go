@@ -1,0 +1,321 @@
+package remedy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"ssdfail/internal/trace"
+)
+
+// A scenario is a declarative, replayable remediation workload: a fleet
+// definition, a policy, a timed sequence of score and fault events, and
+// assertions about what the engine must (and must not) have done. The
+// format is strict JSON decoded by the standard library — unknown
+// fields are errors, so a typo'd key fails loudly instead of silently
+// asserting nothing.
+
+// Scenario is one scenario file, fully decoded and validated.
+type Scenario struct {
+	// Name identifies the scenario in reports and golden paths.
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Fleet declares the drive population, grouped by model.
+	Fleet []FleetGroup `json:"fleet"`
+	// Policy is the operating point under test. Omitted numeric fields
+	// fall back to DefaultPolicy values field by field.
+	Policy PolicySpec `json:"policy"`
+	// Spares stocks the pool at tick zero.
+	Spares int `json:"spares"`
+	// Ticks is the number of evaluation passes to run.
+	Ticks int `json:"ticks"`
+	// BaseScore is every drive's score until an event changes it.
+	BaseScore float64 `json:"base_score"`
+	// Events mutate scores, inject failures, and restock spares at
+	// given ticks.
+	Events []ScenarioEvent `json:"events"`
+	// Assertions are checked during and after the run.
+	Assertions []Assertion `json:"assertions"`
+}
+
+// FleetGroup declares a contiguous block of drives of one model.
+type FleetGroup struct {
+	Model   string `json:"model"`
+	Count   int    `json:"count"`
+	FirstID uint32 `json:"first_id"`
+
+	model trace.Model // resolved by Validate
+}
+
+// PolicySpec mirrors Policy with pointer fields so a scenario can state
+// only what it cares about; nil fields take the DefaultPolicy value.
+type PolicySpec struct {
+	Threshold        *float64 `json:"threshold,omitempty"`
+	CordonAfter      *int     `json:"cordon_after,omitempty"`
+	UncordonAfter    *int     `json:"uncordon_after,omitempty"`
+	MaxDrainFraction *float64 `json:"max_drain_fraction,omitempty"`
+	DrainTicks       *int     `json:"drain_ticks,omitempty"`
+	SwapCost         *float64 `json:"swap_cost,omitempty"`
+	LossCost         *float64 `json:"loss_cost,omitempty"`
+}
+
+// Resolve overlays the spec on DefaultPolicy.
+func (ps PolicySpec) Resolve() Policy {
+	p := DefaultPolicy()
+	if ps.Threshold != nil {
+		p.Threshold = *ps.Threshold
+	}
+	if ps.CordonAfter != nil {
+		p.CordonAfter = *ps.CordonAfter
+	}
+	if ps.UncordonAfter != nil {
+		p.UncordonAfter = *ps.UncordonAfter
+	}
+	if ps.MaxDrainFraction != nil {
+		p.MaxDrainFraction = *ps.MaxDrainFraction
+	}
+	if ps.DrainTicks != nil {
+		p.DrainTicks = *ps.DrainTicks
+	}
+	if ps.SwapCost != nil {
+		p.SwapCost = *ps.SwapCost
+	}
+	if ps.LossCost != nil {
+		p.LossCost = *ps.LossCost
+	}
+	return p
+}
+
+// ScenarioEvent is one timed mutation. Exactly one of the action
+// fields must be set.
+type ScenarioEvent struct {
+	// At is the tick (1-based) the event applies on, before that
+	// tick's evaluation pass.
+	At int `json:"at"`
+	// SetScore pins one drive's score until changed again.
+	SetScore *ScoreEvent `json:"set_score,omitempty"`
+	// SetModelScore pins every drive of a model to one score.
+	SetModelScore *ModelScoreEvent `json:"set_model_score,omitempty"`
+	// Fail injects a ground-truth drive failure.
+	Fail *FailEvent `json:"fail,omitempty"`
+	// Restock adds spares to the pool.
+	Restock *RestockEvent `json:"restock,omitempty"`
+}
+
+// ScoreEvent pins one drive's score.
+type ScoreEvent struct {
+	Drive uint32  `json:"drive"`
+	Score float64 `json:"score"`
+}
+
+// ModelScoreEvent pins a whole model's score.
+type ModelScoreEvent struct {
+	Model string  `json:"model"`
+	Score float64 `json:"score"`
+
+	model trace.Model
+}
+
+// FailEvent injects a failure.
+type FailEvent struct {
+	Drive uint32 `json:"drive"`
+}
+
+// RestockEvent adds spares.
+type RestockEvent struct {
+	Count int `json:"count"`
+}
+
+// Assertion is one check against the run. Type selects the check:
+//
+//	"state"        — drive ends the run in state want
+//	"counter"      — named engine counter ends within [min, max]
+//	"cost"         — total realized cost ends within [min, max]
+//	"savings"      — savings vs do-nothing ends within [min, max]
+//	"pool_free"    — spares on hand end within [min, max]
+//	"max_draining" — at every tick, draining drives of model stay
+//	                 <= floor(fraction x registered); fraction omitted
+//	                 means the policy's MaxDrainFraction
+//
+// Min/max are inclusive; a nil bound is unchecked.
+type Assertion struct {
+	Type     string   `json:"type"`
+	Drive    uint32   `json:"drive,omitempty"`
+	Want     string   `json:"want,omitempty"`
+	Counter  string   `json:"counter,omitempty"`
+	Model    string   `json:"model,omitempty"`
+	Fraction *float64 `json:"fraction,omitempty"`
+	Min      *float64 `json:"min,omitempty"`
+	Max      *float64 `json:"max,omitempty"`
+
+	wantState State
+	model     trace.Model
+}
+
+// counterNames maps assertion counter names to Stats accessors.
+var counterNames = map[string]func(Summary) float64{
+	"cordons":      func(s Summary) float64 { return float64(s.Stats.Cordons) },
+	"uncordons":    func(s Summary) float64 { return float64(s.Stats.Uncordons) },
+	"drain_starts": func(s Summary) float64 { return float64(s.Stats.DrainStarts) },
+	"swaps":        func(s Summary) float64 { return float64(s.Stats.Swaps) },
+	"failures":     func(s Summary) float64 { return float64(s.Stats.Failures) },
+	"data_losses":  func(s Summary) float64 { return float64(s.Stats.DataLosses) },
+	"prevented_losses": func(s Summary) float64 {
+		return float64(s.Stats.PreventedLosses)
+	},
+	"premature_swaps": func(s Summary) float64 { return float64(s.PrematureSwaps) },
+	"rate_limited":    func(s Summary) float64 { return float64(s.Stats.RateLimitedTicks) },
+	"pool_exhausted":  func(s Summary) float64 { return float64(s.Stats.PoolExhaustedTicks) },
+}
+
+// ParseScenario decodes and validates one scenario document.
+func ParseScenario(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("remedy: parsing scenario: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, fmt.Errorf("remedy: trailing data after scenario document")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// LoadScenario reads and parses a scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := ParseScenario(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Validate checks structural invariants and resolves model names and
+// state names so the runner never re-parses strings.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("remedy: scenario has no name")
+	}
+	if sc.Ticks <= 0 {
+		return fmt.Errorf("remedy: scenario %s: ticks must be positive", sc.Name)
+	}
+	if sc.Spares < 0 {
+		return fmt.Errorf("remedy: scenario %s: negative spares", sc.Name)
+	}
+	if len(sc.Fleet) == 0 {
+		return fmt.Errorf("remedy: scenario %s: empty fleet", sc.Name)
+	}
+	if _, err := sc.Policy.Resolve().withDefaults(); err != nil {
+		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	drives := make(map[uint32]trace.Model)
+	for i := range sc.Fleet {
+		g := &sc.Fleet[i]
+		m, err := trace.ParseModel(g.Model)
+		if err != nil {
+			return fmt.Errorf("remedy: scenario %s: fleet group %d: %w", sc.Name, i, err)
+		}
+		g.model = m
+		if g.Count <= 0 {
+			return fmt.Errorf("remedy: scenario %s: fleet group %d: count must be positive", sc.Name, i)
+		}
+		for k := 0; k < g.Count; k++ {
+			id := g.FirstID + uint32(k)
+			if _, dup := drives[id]; dup {
+				return fmt.Errorf("remedy: scenario %s: drive %d declared twice", sc.Name, id)
+			}
+			drives[id] = m
+		}
+	}
+	for i := range sc.Events {
+		ev := &sc.Events[i]
+		if ev.At < 1 || ev.At > sc.Ticks {
+			return fmt.Errorf("remedy: scenario %s: event %d at tick %d outside [1, %d]",
+				sc.Name, i, ev.At, sc.Ticks)
+		}
+		set := 0
+		if ev.SetScore != nil {
+			set++
+			if _, ok := drives[ev.SetScore.Drive]; !ok {
+				return fmt.Errorf("remedy: scenario %s: event %d scores undeclared drive %d",
+					sc.Name, i, ev.SetScore.Drive)
+			}
+		}
+		if ev.SetModelScore != nil {
+			set++
+			m, err := trace.ParseModel(ev.SetModelScore.Model)
+			if err != nil {
+				return fmt.Errorf("remedy: scenario %s: event %d: %w", sc.Name, i, err)
+			}
+			ev.SetModelScore.model = m
+		}
+		if ev.Fail != nil {
+			set++
+			if _, ok := drives[ev.Fail.Drive]; !ok {
+				return fmt.Errorf("remedy: scenario %s: event %d fails undeclared drive %d",
+					sc.Name, i, ev.Fail.Drive)
+			}
+		}
+		if ev.Restock != nil {
+			set++
+			if ev.Restock.Count <= 0 {
+				return fmt.Errorf("remedy: scenario %s: event %d: restock count must be positive",
+					sc.Name, i)
+			}
+		}
+		if set != 1 {
+			return fmt.Errorf("remedy: scenario %s: event %d must set exactly one action, has %d",
+				sc.Name, i, set)
+		}
+	}
+	for i := range sc.Assertions {
+		a := &sc.Assertions[i]
+		switch a.Type {
+		case "state":
+			st, err := ParseState(a.Want)
+			if err != nil {
+				return fmt.Errorf("remedy: scenario %s: assertion %d: %w", sc.Name, i, err)
+			}
+			a.wantState = st
+			if _, ok := drives[a.Drive]; !ok {
+				return fmt.Errorf("remedy: scenario %s: assertion %d names undeclared drive %d",
+					sc.Name, i, a.Drive)
+			}
+		case "counter":
+			if _, ok := counterNames[a.Counter]; !ok {
+				return fmt.Errorf("remedy: scenario %s: assertion %d: unknown counter %q",
+					sc.Name, i, a.Counter)
+			}
+		case "cost", "savings", "pool_free":
+			// Bounds-only assertions; nothing to resolve.
+		case "max_draining":
+			m, err := trace.ParseModel(a.Model)
+			if err != nil {
+				return fmt.Errorf("remedy: scenario %s: assertion %d: %w", sc.Name, i, err)
+			}
+			a.model = m
+			if a.Fraction != nil && (*a.Fraction < 0 || *a.Fraction > 1) {
+				return fmt.Errorf("remedy: scenario %s: assertion %d: fraction %v outside [0, 1]",
+					sc.Name, i, *a.Fraction)
+			}
+		default:
+			return fmt.Errorf("remedy: scenario %s: assertion %d: unknown type %q",
+				sc.Name, i, a.Type)
+		}
+		if a.Min != nil && a.Max != nil && *a.Min > *a.Max {
+			return fmt.Errorf("remedy: scenario %s: assertion %d: min %v > max %v",
+				sc.Name, i, *a.Min, *a.Max)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package remedy
+
+import (
+	"strings"
+	"testing"
+)
+
+// validScenario is a minimal well-formed scenario document the error
+// cases below mutate.
+const validScenario = `{
+  "name": "smoke",
+  "fleet": [{"model": "MLC-A", "count": 4, "first_id": 1}],
+  "policy": {"threshold": 0.9, "cordon_after": 1, "max_drain_fraction": 1, "drain_ticks": 0},
+  "spares": 2,
+  "ticks": 5,
+  "base_score": 0.1,
+  "events": [
+    {"at": 2, "set_score": {"drive": 1, "score": 0.95}},
+    {"at": 4, "fail": {"drive": 2}}
+  ],
+  "assertions": [
+    {"type": "state", "drive": 1, "want": "swapped"},
+    {"type": "counter", "counter": "swaps", "min": 1, "max": 1}
+  ]
+}`
+
+func TestParseScenarioValid(t *testing.T) {
+	sc, err := ParseScenario([]byte(validScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "smoke" || sc.Ticks != 5 || len(sc.Events) != 2 {
+		t.Fatalf("parsed = %+v", sc)
+	}
+	p := sc.Policy.Resolve()
+	if p.Threshold != 0.9 || p.MaxDrainFraction != 1 {
+		t.Fatalf("resolved policy = %+v", p)
+	}
+	// Unset fields fall back to DefaultPolicy.
+	if def := DefaultPolicy(); p.SwapCost != def.SwapCost || p.LossCost != def.LossCost {
+		t.Fatalf("policy overlay lost defaults: %+v", p)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantErr string
+	}{
+		{"unknown field", func(s string) string {
+			return strings.Replace(s, `"spares"`, `"sparess"`, 1)
+		}, "unknown field"},
+		{"trailing data", func(s string) string {
+			return s + "{}"
+		}, "trailing data"},
+		{"no name", func(s string) string {
+			return strings.Replace(s, `"smoke"`, `""`, 1)
+		}, "no name"},
+		{"zero ticks", func(s string) string {
+			return strings.Replace(s, `"ticks": 5`, `"ticks": 0`, 1)
+		}, "ticks must be positive"},
+		{"bad model", func(s string) string {
+			return strings.Replace(s, `"MLC-A"`, `"MLC-Z"`, 1)
+		}, "MLC-Z"},
+		{"duplicate drives", func(s string) string {
+			return strings.Replace(s, `{"model": "MLC-A", "count": 4, "first_id": 1}`,
+				`{"model": "MLC-A", "count": 4, "first_id": 1}, {"model": "MLC-B", "count": 1, "first_id": 2}`, 1)
+		}, "declared twice"},
+		{"event past end", func(s string) string {
+			return strings.Replace(s, `"at": 4`, `"at": 9`, 1)
+		}, "outside [1, 5]"},
+		{"event with two actions", func(s string) string {
+			return strings.Replace(s, `"fail": {"drive": 2}`,
+				`"fail": {"drive": 2}, "restock": {"count": 1}`, 1)
+		}, "exactly one action"},
+		{"event with no action", func(s string) string {
+			return strings.Replace(s, `{"at": 4, "fail": {"drive": 2}}`, `{"at": 4}`, 1)
+		}, "exactly one action"},
+		{"score for undeclared drive", func(s string) string {
+			return strings.Replace(s, `"set_score": {"drive": 1`, `"set_score": {"drive": 99`, 1)
+		}, "undeclared drive 99"},
+		{"bad state name", func(s string) string {
+			return strings.Replace(s, `"swapped"`, `"vaporized"`, 1)
+		}, "vaporized"},
+		{"unknown counter", func(s string) string {
+			return strings.Replace(s, `"counter": "swaps"`, `"counter": "swapz"`, 1)
+		}, `unknown counter "swapz"`},
+		{"min above max", func(s string) string {
+			return strings.Replace(s, `"min": 1, "max": 1`, `"min": 3, "max": 1`, 1)
+		}, "min 3 > max 1"},
+		{"bad policy", func(s string) string {
+			return strings.Replace(s, `"threshold": 0.9`, `"threshold": 1.9`, 1)
+		}, "threshold"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenario([]byte(tc.mutate(validScenario)))
+			if err == nil {
+				t.Fatalf("mutation accepted; want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunSmokeScenario(t *testing.T) {
+	sc, err := ParseScenario([]byte(validScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Summary.Stats.Swaps != 1 || res.Summary.Stats.DataLosses != 1 {
+		t.Fatalf("summary = %+v", res.Summary)
+	}
+	if res.Pool.InUse != 1 || res.Pool.Free != 1 {
+		t.Fatalf("pool = %+v", res.Pool)
+	}
+	log := string(res.EventLog)
+	for _, want := range []string{
+		"t=2 action=cordon drive=1",
+		"t=2 action=drain_start drive=1",
+		"t=2 action=swap drive=1",
+		"t=4 action=fail drive=2",
+	} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("event log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestRunReportsAssertionViolations(t *testing.T) {
+	doc := strings.Replace(validScenario,
+		`{"type": "counter", "counter": "swaps", "min": 1, "max": 1}`,
+		`{"type": "counter", "counter": "swaps", "min": 5}`, 1)
+	sc, err := ParseScenario([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 || !strings.Contains(res.Violations[0], "swaps = 1, want >= 5") {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+}
+
+func TestRunRejectsDoubleFailEvent(t *testing.T) {
+	doc := strings.Replace(validScenario,
+		`{"at": 4, "fail": {"drive": 2}}`,
+		`{"at": 3, "fail": {"drive": 2}}, {"at": 4, "fail": {"drive": 2}}`, 1)
+	sc, err := ParseScenario([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sc); err == nil || !strings.Contains(err.Error(), "failed twice") {
+		t.Fatalf("err = %v, want double-fail rejection", err)
+	}
+}
+
+func TestRunIsByteIdentical(t *testing.T) {
+	sc, err := ParseScenario([]byte(validScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again.EventLog) != string(first.EventLog) {
+			t.Fatalf("run %d diverged:\n--- first ---\n%s--- again ---\n%s",
+				i, first.EventLog, again.EventLog)
+		}
+	}
+	if len(first.EventLog) == 0 {
+		t.Fatal("empty event log; determinism check vacuous")
+	}
+}

@@ -1,0 +1,91 @@
+package remedy
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"ssdfail/internal/trace"
+)
+
+// ScoreSource feeds an evaluation pass with the fleet's current
+// scores. Scenario runs synthesize scores from the scenario file; the
+// live path pulls them from a running ssdserved watchlist.
+type ScoreSource interface {
+	Fetch(ctx context.Context) ([]Score, error)
+}
+
+// HTTPSource pulls scores from a running ssdserved daemon's
+// /v1/watchlist endpoint. It requests threshold=0 and k=0 — the whole
+// scored fleet, not just the members above the operating point —
+// because the policy engine needs margins on both sides of the
+// threshold to run its hysteresis.
+type HTTPSource struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+	// MaxBodyBytes caps the response read; 0 means 64 MiB.
+	MaxBodyBytes int64
+}
+
+// watchlistReply is the slice of the watchlist response the engine
+// consumes (per-item score plus identity; envelope ignored beyond
+// items).
+type watchlistReply struct {
+	Items []struct {
+		DriveID uint32  `json:"drive_id"`
+		Model   string  `json:"model"`
+		Score   float64 `json:"score"`
+	} `json:"items"`
+}
+
+// Fetch pulls one full-fleet score pass.
+func (s *HTTPSource) Fetch(ctx context.Context) ([]Score, error) {
+	u, err := url.Parse(s.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("remedy: source url: %w", err)
+	}
+	u.Path = "/v1/watchlist"
+	u.RawQuery = "threshold=0&k=0"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	client := s.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("remedy: fetching watchlist: %w", err)
+	}
+	defer resp.Body.Close()
+	maxBody := s.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 64 << 20
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return nil, fmt.Errorf("remedy: reading watchlist: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("remedy: watchlist returned %d: %s", resp.StatusCode, body)
+	}
+	var rep watchlistReply
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return nil, fmt.Errorf("remedy: unparseable watchlist: %w", err)
+	}
+	out := make([]Score, 0, len(rep.Items))
+	for _, it := range rep.Items {
+		m, err := trace.ParseModel(it.Model)
+		if err != nil {
+			return nil, fmt.Errorf("remedy: watchlist drive %d: %w", it.DriveID, err)
+		}
+		out = append(out, Score{DriveID: it.DriveID, Model: m, Score: it.Score})
+	}
+	return out, nil
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ssdfail/internal/faultfs"
+	"ssdfail/internal/remedy"
 	"ssdfail/internal/trace"
 )
 
@@ -74,6 +75,18 @@ type Config struct {
 	ModelRetryBase time.Duration
 	ModelRetryMax  time.Duration
 
+	// RemedyPolicy enables the remediation control plane: a policy
+	// engine that walks fleet scores through cordon/drain/swap decisions
+	// against a spare pool, exposed under /v1/remedy/*. Nil leaves
+	// remediation disabled (the endpoints answer 409, like /v1/snapshot
+	// without a WAL).
+	RemedyPolicy *remedy.Policy
+	// RemedySpares stocks the spare pool at startup.
+	RemedySpares int
+	// RemedyLogCap bounds the in-memory remediation event ring
+	// (0 = remedy.DefaultRingCap).
+	RemedyLogCap int
+
 	// Clock overrides the server's time source (request-duration and
 	// scoring-latency observations, uptime and model-age gauges, model
 	// load timestamps). Nil means time.Now. Tests inject a deterministic
@@ -99,6 +112,8 @@ type Server struct {
 	metrics  *Metrics
 	now      func() time.Time
 	start    time.Time
+
+	remedy *remedyPlane // nil when cfg.RemedyPolicy is nil
 
 	ingestSem chan struct{}
 	scoreSem  chan struct{}
@@ -264,6 +279,9 @@ func New(cfg Config) (*Server, error) {
 	m.NewGaugeFunc("ssdserved_uptime_seconds",
 		"Seconds since the daemon started.",
 		func() float64 { return s.now().Sub(s.start).Seconds() })
+	if err := s.initRemedy(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -349,6 +367,11 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/model", "model", s.handleModel)
 	route("POST /v1/model/reload", "model_reload", s.handleModelReload)
 	route("POST /v1/snapshot", "snapshot", s.handleSnapshot)
+	route("POST /v1/remedy/evaluate", "remedy_evaluate", s.handleRemedyEvaluate)
+	route("GET /v1/remedy/status", "remedy_status", s.handleRemedyStatus)
+	route("GET /v1/remedy/drives", "remedy_drives", s.handleRemedyDrives)
+	route("GET /v1/remedy/log", "remedy_log", s.handleRemedyLog)
+	route("POST /v1/remedy/fail", "remedy_fail", s.handleRemedyFail)
 	route("GET /healthz", "healthz", s.handleHealthz)
 	route("GET /metrics", "metrics", s.handleMetrics)
 	return mux
@@ -602,11 +625,18 @@ func (s *Server) handleWatchlist(w http.ResponseWriter, r *http.Request) {
 		Score   float64 `json:"score"`
 		Day     int32   `json:"day"`
 		Age     int32   `json:"age"`
+		// Threshold and Margin report the operating point each item was
+		// ranked against and how far above it the score sits — the
+		// remediation planner consumes margins, and existing clients see
+		// only added fields.
+		Threshold float64 `json:"threshold"`
+		Margin    float64 `json:"margin"`
 	}
 	items := make([]item, len(ranked))
 	for i, sc := range ranked {
 		items[i] = item{DriveID: sc.ID, Model: sc.Model.String(),
-			Score: sc.Score, Day: sc.Day, Age: sc.Age}
+			Score: sc.Score, Day: sc.Day, Age: sc.Age,
+			Threshold: threshold, Margin: sc.Score - threshold}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"model_version": info.Version,

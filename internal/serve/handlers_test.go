@@ -171,9 +171,11 @@ func TestServerIngestScoreWatchlistRoundTrip(t *testing.T) {
 		Count        int     `json:"count"`
 		Threshold    float64 `json:"threshold"`
 		Items        []struct {
-			DriveID uint32  `json:"drive_id"`
-			Model   string  `json:"model"`
-			Score   float64 `json:"score"`
+			DriveID   uint32  `json:"drive_id"`
+			Model     string  `json:"model"`
+			Score     float64 `json:"score"`
+			Threshold float64 `json:"threshold"`
+			Margin    float64 `json:"margin"`
 		} `json:"items"`
 	}
 	if resp := getJSON(t, ts.URL+"/v1/watchlist?threshold=0&k=25", &wl); resp.StatusCode != http.StatusOK {
@@ -196,6 +198,14 @@ func TestServerIngestScoreWatchlistRoundTrip(t *testing.T) {
 		}
 		if _, err := trace.ParseModel(it.Model); err != nil {
 			t.Fatalf("bad model in item: %v", err)
+		}
+		// Every item carries its operating point and margin (the
+		// remediation planner's inputs), consistent with the envelope.
+		if it.Threshold != wl.Threshold {
+			t.Fatalf("item threshold %v != envelope threshold %v", it.Threshold, wl.Threshold)
+		}
+		if got, want := it.Margin, it.Score-it.Threshold; got != want {
+			t.Fatalf("margin = %v, want score-threshold = %v", got, want)
 		}
 	}
 

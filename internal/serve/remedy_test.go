@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ssdfail/internal/remedy"
+)
+
+// getJSONBody unmarshals a response body already read by postJSON.
+func getJSONBody(t *testing.T, body []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, body)
+	}
+}
+
+// getText fetches a plain-text endpoint (the metrics scrape).
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// remedyConfig enables the control plane with a hair-trigger policy so
+// a single evaluation pass produces decisions against the fixture
+// fleet's real scores.
+func remedyConfig(spares int) func(*Config) {
+	return func(c *Config) {
+		p := remedy.DefaultPolicy()
+		p.Threshold = 0.5
+		p.CordonAfter = 1
+		p.MaxDrainFraction = 1
+		p.DrainTicks = 0
+		c.RemedyPolicy = &p
+		c.RemedySpares = spares
+	}
+}
+
+func TestRemedyEndpointsDisabledWithoutPolicy(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for _, req := range []struct{ method, path string }{
+		{http.MethodPost, "/v1/remedy/evaluate"},
+		{http.MethodGet, "/v1/remedy/status"},
+		{http.MethodGet, "/v1/remedy/drives"},
+		{http.MethodGet, "/v1/remedy/log"},
+		{http.MethodPost, "/v1/remedy/fail"},
+	} {
+		var resp *http.Response
+		if req.method == http.MethodGet {
+			resp = getJSON(t, ts.URL+req.path, nil)
+		} else {
+			resp, _ = postJSON(t, ts.URL+req.path, map[string]any{})
+		}
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("%s %s status = %d, want 409", req.method, req.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestRemedyEvaluateCordonsSwapsAndAccounts(t *testing.T) {
+	_, ts := newTestServer(t, remedyConfig(1000))
+
+	// Ingest two fleet days so every drive has a scoreable history.
+	for _, off := range []int{1, 0} {
+		if resp, body := postJSON(t, ts.URL+"/v1/ingest/batch", fleetDay(off)); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	var eval struct {
+		Tick      uint64 `json:"tick"`
+		FleetSize int    `json:"fleet_size"`
+		Decisions []struct {
+			Tick   uint64  `json:"tick"`
+			Action string  `json:"action"`
+			Drive  uint32  `json:"drive_id"`
+			Score  float64 `json:"score"`
+			Spare  int     `json:"spare"`
+		} `json:"decisions"`
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/remedy/evaluate", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate status %d: %s", resp.StatusCode, body)
+	}
+	getJSONBody(t, body, &eval)
+	if eval.Tick != 1 || eval.FleetSize == 0 {
+		t.Fatalf("evaluate = %+v", eval)
+	}
+	// With threshold 0.5, cordon_after 1, drain_ticks 0 and a deep
+	// pool, every decision chain lands in one tick: cordon,
+	// drain_start, swap triplets for each hot drive.
+	if len(eval.Decisions) == 0 || len(eval.Decisions)%3 != 0 {
+		t.Fatalf("decisions = %d, want a non-zero multiple of 3", len(eval.Decisions))
+	}
+	swapped := map[uint32]bool{}
+	for _, d := range eval.Decisions {
+		if d.Score < 0.5 {
+			t.Fatalf("decision on sub-threshold drive: %+v", d)
+		}
+		if d.Action == "swap" {
+			swapped[d.Drive] = true
+		}
+	}
+	if len(swapped) != len(eval.Decisions)/3 {
+		t.Fatalf("swaps = %d, decisions = %d", len(swapped), len(eval.Decisions))
+	}
+
+	// Status reflects the tick's work and the pool draw-down.
+	var status struct {
+		Tick   uint64         `json:"tick"`
+		States map[string]int `json:"states"`
+		Stats  struct {
+			Swaps uint64 `json:"Swaps"`
+		} `json:"stats"`
+		Pool struct {
+			InUse int `json:"InUse"`
+		} `json:"pool"`
+	}
+	if resp := getJSON(t, ts.URL+"/v1/remedy/status", &status); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if status.Tick != 1 || int(status.Stats.Swaps) != len(swapped) || status.Pool.InUse != len(swapped) {
+		t.Fatalf("status = %+v, want %d swaps", status, len(swapped))
+	}
+	if status.States["swapped"] != len(swapped) {
+		t.Fatalf("states = %v", status.States)
+	}
+
+	// Drives view agrees and is sorted.
+	var drives struct {
+		Count  int `json:"count"`
+		Drives []struct {
+			DriveID uint32 `json:"drive_id"`
+			State   string `json:"state"`
+			Spare   int    `json:"spare"`
+		} `json:"drives"`
+	}
+	if resp := getJSON(t, ts.URL+"/v1/remedy/drives", &drives); resp.StatusCode != http.StatusOK {
+		t.Fatalf("drives %d", resp.StatusCode)
+	}
+	if drives.Count != eval.FleetSize {
+		t.Fatalf("drives count = %d, want %d", drives.Count, eval.FleetSize)
+	}
+	gotSwapped := 0
+	for i, d := range drives.Drives {
+		if i > 0 && drives.Drives[i-1].DriveID >= d.DriveID {
+			t.Fatal("drives not sorted by ID")
+		}
+		if d.State == "swapped" {
+			gotSwapped++
+			if d.Spare == 0 {
+				t.Fatalf("swapped drive %d has no spare", d.DriveID)
+			}
+		}
+	}
+	if gotSwapped != len(swapped) {
+		t.Fatalf("drives view shows %d swapped, want %d", gotSwapped, len(swapped))
+	}
+
+	// The log replays the decisions; ?n= bounds the slice.
+	var logResp struct {
+		Total  uint64 `json:"total"`
+		Count  int    `json:"count"`
+		Events []struct {
+			Action string `json:"action"`
+		} `json:"events"`
+	}
+	if resp := getJSON(t, ts.URL+"/v1/remedy/log?n=2", &logResp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("log %d", resp.StatusCode)
+	}
+	if logResp.Total != uint64(len(eval.Decisions)) || logResp.Count != 2 {
+		t.Fatalf("log = %+v, want total %d count 2", logResp, len(eval.Decisions))
+	}
+	if resp := getJSON(t, ts.URL+"/v1/remedy/log?n=-1", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative n status %d, want 400", resp.StatusCode)
+	}
+
+	// A swapped drive's ground-truth failure is a prevented loss; an
+	// unknown drive is rejected.
+	var anySwapped uint32
+	for id := range swapped {
+		anySwapped = id
+		break
+	}
+	var failResp struct {
+		Event struct {
+			Action string  `json:"action"`
+			Cost   float64 `json:"cost"`
+		} `json:"event"`
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/remedy/fail", map[string]any{"drive_id": anySwapped})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fail status %d: %s", resp.StatusCode, body)
+	}
+	getJSONBody(t, body, &failResp)
+	if failResp.Event.Action != "fail" || failResp.Event.Cost != 0 {
+		t.Fatalf("fail event = %+v, want zero-cost prevented loss", failResp.Event)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/remedy/fail", map[string]any{"drive_id": 4_000_000}); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown-drive fail status %d, want 422", resp.StatusCode)
+	}
+
+	// Metrics expose the ssdremedy series with the tick's numbers.
+	metrics := getText(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"ssdremedy_evaluations_total 1",
+		"ssdremedy_prevented_losses_total 1",
+		"ssdremedy_spares_in_use " + itoa(len(swapped)),
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestRemedyEvaluateWithoutIngestIsEmptyTick(t *testing.T) {
+	_, ts := newTestServer(t, remedyConfig(10))
+	var eval struct {
+		Tick      uint64 `json:"tick"`
+		FleetSize int    `json:"fleet_size"`
+		Decisions []any  `json:"decisions"`
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/remedy/evaluate", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate status %d: %s", resp.StatusCode, body)
+	}
+	getJSONBody(t, body, &eval)
+	if eval.Tick != 1 || eval.FleetSize != 0 || len(eval.Decisions) != 0 {
+		t.Fatalf("empty-fleet evaluate = %+v", eval)
+	}
+}

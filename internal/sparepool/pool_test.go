@@ -1,0 +1,198 @@
+package sparepool
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPoolAllocateRelease(t *testing.T) {
+	p, err := NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.Allocate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Allocate(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != 1 || s2 != 2 {
+		t.Fatalf("spare IDs = %d, %d, want 1, 2 (sequential in allocation order)", s1, s2)
+	}
+	st := p.Stats()
+	if st.Free != 0 || st.InUse != 2 || st.Capacity != 2 || st.Allocations != 2 {
+		t.Fatalf("stats after allocations = %+v", st)
+	}
+	if spare, ok := p.Holder(10); !ok || spare != 1 {
+		t.Fatalf("Holder(10) = %d, %v", spare, ok)
+	}
+	if err := p.Release(10); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats()
+	if st.Free != 1 || st.InUse != 1 || st.Releases != 1 {
+		t.Fatalf("stats after release = %+v", st)
+	}
+}
+
+func TestPoolDoubleAllocateIsError(t *testing.T) {
+	p, _ := NewPool(5)
+	if _, err := p.Allocate(7); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Allocate(7)
+	if !errors.Is(err, ErrDoubleAllocate) {
+		t.Fatalf("second allocate = %v, want ErrDoubleAllocate", err)
+	}
+	// The refused allocation consumed nothing.
+	st := p.Stats()
+	if st.Free != 4 || st.InUse != 1 || st.DoubleAllocates != 1 {
+		t.Fatalf("stats after double allocate = %+v", st)
+	}
+}
+
+func TestPoolDoubleReleaseIsError(t *testing.T) {
+	p, _ := NewPool(1)
+	if err := p.Release(3); !errors.Is(err, ErrDoubleRelease) {
+		t.Fatalf("release of unallocated drive = %v, want ErrDoubleRelease", err)
+	}
+	if _, err := p.Allocate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(3); !errors.Is(err, ErrDoubleRelease) {
+		t.Fatalf("second release = %v, want ErrDoubleRelease", err)
+	}
+	st := p.Stats()
+	if st.Free != 1 || st.InUse != 0 || st.DoubleReleases != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolExhaustionAndRestock(t *testing.T) {
+	p, _ := NewPool(1)
+	if _, err := p.Allocate(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate(2); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("allocate from empty pool = %v, want ErrExhausted", err)
+	}
+	if st := p.Stats(); st.Exhaustions != 1 {
+		t.Fatalf("stats = %+v, want 1 exhaustion", st)
+	}
+	if err := p.Restock(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate(2); err != nil {
+		t.Fatalf("allocate after restock: %v", err)
+	}
+	st := p.Stats()
+	if st.Capacity != 3 || st.Free != 1 || st.InUse != 2 {
+		t.Fatalf("stats after restock = %+v", st)
+	}
+	if err := p.Restock(-1); err == nil {
+		t.Fatal("negative restock should error")
+	}
+}
+
+func TestPoolRejectsNegativeInitial(t *testing.T) {
+	if _, err := NewPool(-1); err == nil {
+		t.Fatal("negative initial stock should error")
+	}
+}
+
+// TestPoolConcurrentActuation hammers the pool from many goroutines
+// under -race: every drive allocates then releases in a loop, and the
+// books must balance exactly at the end — no spare lost, none minted.
+func TestPoolConcurrentActuation(t *testing.T) {
+	const (
+		drives = 32
+		rounds = 200
+		stock  = 8
+	)
+	p, _ := NewPool(stock)
+	var wg sync.WaitGroup
+	for d := 0; d < drives; d++ {
+		wg.Add(1)
+		go func(id uint32) {
+			defer wg.Done()
+			held := false
+			for r := 0; r < rounds; r++ {
+				if held {
+					if err := p.Release(id); err != nil {
+						t.Errorf("drive %d: release: %v", id, err)
+						return
+					}
+					held = false
+					continue
+				}
+				_, err := p.Allocate(id)
+				switch {
+				case err == nil:
+					held = true
+				case errors.Is(err, ErrExhausted):
+					// Contention, not corruption; try again next round.
+				default:
+					t.Errorf("drive %d: allocate: %v", id, err)
+					return
+				}
+			}
+			if held {
+				if err := p.Release(id); err != nil {
+					t.Errorf("drive %d: final release: %v", id, err)
+				}
+			}
+		}(uint32(d))
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.InUse != 0 || st.Free != stock {
+		t.Fatalf("pool did not balance: %+v", st)
+	}
+	if st.Allocations != st.Releases {
+		t.Fatalf("allocations %d != releases %d", st.Allocations, st.Releases)
+	}
+	if st.DoubleAllocates != 0 || st.DoubleReleases != 0 {
+		t.Fatalf("spurious duplicate actuations: %+v", st)
+	}
+}
+
+// TestPoolConcurrentExhaustion drives far more claimants than stock and
+// verifies the pool never over-allocates: at every moment at most
+// `stock` spares are out, which the final books confirm.
+func TestPoolConcurrentExhaustion(t *testing.T) {
+	const (
+		claimants = 64
+		stock     = 4
+	)
+	p, _ := NewPool(stock)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	winners := 0
+	for d := 0; d < claimants; d++ {
+		wg.Add(1)
+		go func(id uint32) {
+			defer wg.Done()
+			if _, err := p.Allocate(id); err == nil {
+				mu.Lock()
+				winners++
+				mu.Unlock()
+			} else if !errors.Is(err, ErrExhausted) {
+				t.Errorf("drive %d: %v", id, err)
+			}
+		}(uint32(d))
+	}
+	wg.Wait()
+	if winners != stock {
+		t.Fatalf("%d allocations succeeded, want exactly %d", winners, stock)
+	}
+	st := p.Stats()
+	if st.Free != 0 || st.InUse != stock || st.Exhaustions != claimants-stock {
+		t.Fatalf("stats = %+v", st)
+	}
+}
