@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt vet baseline remedy-scenarios
+.PHONY: all build test race lint fmt vet baseline remedy-scenarios cluster-chaos
 
 all: build lint test
 
@@ -38,6 +38,13 @@ remedy-scenarios:
 		diff -u scenarios/golden/$$name.eventlog /tmp/$$name.p1.eventlog; \
 		echo "$$name: OK"; \
 	done
+
+# The clustered failure drill: kill -9 + network partition mid-run
+# behind ssdrouter, zero accepted-record loss verified through the
+# router, conformance report written to BENCH_cluster.json.
+cluster-chaos:
+	SSDFAIL_CLUSTER_REPORT=$(CURDIR)/BENCH_cluster.json \
+		$(GO) test -race -count=1 -run 'TestClusterChaos|TestReadinessGate|TestRouter|TestFollower' ./internal/cluster/
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,137 @@
+// Command ssdrouter fronts a fleet of ssdserved nodes: it partitions
+// drive IDs across them by consistent hashing, health-probes every
+// endpoint, fails a partition over to its WAL-streaming follower when
+// the primary goes dark, and answers fleet-wide queries (watchlist,
+// /metrics rollups, remediation) by scatter-gather with per-node
+// deadlines, hedged retries on the slow tail, and explicit
+// partial-result degradation.
+//
+// Usage:
+//
+//	ssdrouter -addr :8370 \
+//	    -node n1=http://127.0.0.1:8371 \
+//	    -node n2=http://127.0.0.1:8372 -follower n2=f2=http://127.0.0.1:8382 \
+//	    -node n3=http://127.0.0.1:8373
+//
+// Each -node declares one partition primary; -follower attaches a
+// follower (itself an ssdserved started with -follow pointing at the
+// primary) that the router promotes — stickily — when the primary
+// misses enough probes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ssdfail/internal/cluster"
+)
+
+// stringList collects repeated flag values.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Printf("ssdrouter: %v", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var nodes, followers stringList
+	var (
+		addr       = flag.String("addr", ":8370", "listen address")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per partition on the hash ring (0 = 128)")
+		probeIntvl = flag.Duration("probe-interval", 0, "health probe cadence (0 = 100ms)")
+		downAfter  = flag.Int("down-after", 0, "consecutive missed probes before a node is down (0 = 3)")
+		upAfter    = flag.Int("up-after", 0, "consecutive good probes before a node is up (0 = 2)")
+		deadline   = flag.Duration("deadline", 0, "per-node scatter-gather deadline (0 = 2s)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "hedge a slow leg after this long (0 = 250ms, negative disables)")
+		drainFor   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Var(&nodes, "node", "partition primary as name=url (repeatable)")
+	flag.Var(&followers, "follower", "follower as primary=name=url (repeatable)")
+	flag.Parse()
+
+	if len(nodes) == 0 {
+		return fmt.Errorf("at least one -node is required")
+	}
+	// Indices, not pointers: appending reallocates the slice, and a
+	// pointer captured mid-build would mutate a stale backing array.
+	byName := make(map[string]int)
+	var cfgNodes []cluster.Node
+	for _, spec := range nodes {
+		name, url, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || url == "" {
+			return fmt.Errorf("-node %q: want name=url", spec)
+		}
+		cfgNodes = append(cfgNodes, cluster.Node{Name: name, URL: url})
+		byName[name] = len(cfgNodes) - 1
+	}
+	for _, spec := range followers {
+		primary, rest, ok := strings.Cut(spec, "=")
+		fname, furl, ok2 := strings.Cut(rest, "=")
+		if !ok || !ok2 || primary == "" || fname == "" || furl == "" {
+			return fmt.Errorf("-follower %q: want primary=name=url", spec)
+		}
+		i, found := byName[primary]
+		if !found {
+			return fmt.Errorf("-follower %q: unknown primary %q", spec, primary)
+		}
+		cfgNodes[i].FollowerName, cfgNodes[i].FollowerURL = fname, furl
+	}
+
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Nodes:           cfgNodes,
+		Vnodes:          *vnodes,
+		DownAfter:       *downAfter,
+		UpAfter:         *upAfter,
+		ProbeInterval:   *probeIntvl,
+		PerNodeDeadline: *deadline,
+		HedgeAfter:      *hedgeAfter,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rt.Start(ctx)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("ssdrouter: routing %d partitions on %s", len(cfgNodes), *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("ssdrouter: signal received, draining for up to %v", *drainFor)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("ssdrouter: forced shutdown: %v", err)
+		httpSrv.Close()
+	}
+	log.Printf("ssdrouter: bye")
+	return nil
+}

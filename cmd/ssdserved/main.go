@@ -33,12 +33,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"ssdfail/internal/cluster"
 	"ssdfail/internal/core"
 	"ssdfail/internal/ml/forest"
 	"ssdfail/internal/remedy"
@@ -88,6 +90,10 @@ func run() error {
 		remedyLossCost = flag.Float64("remedy-loss-cost", 20, "accounting cost of one unswapped failure")
 		remedySpares   = flag.Int("remedy-spares", 0, "spares stocked in the pool at startup")
 
+		nodeName   = flag.String("node-name", "", "cluster node name reported by /v1/health (empty for standalone)")
+		follow     = flag.String("follow", "", "primary base URL to replicate from (makes this node a WAL-streaming follower)")
+		followPoll = flag.Duration("follow-poll", 0, "follower catch-up poll interval (0 = 50ms)")
+
 		maxIngest   = flag.Int("max-inflight-ingest", 0, "concurrent ingest requests before shedding with 429 (0 = 256)")
 		maxScores   = flag.Int("max-inflight-scores", 0, "concurrent watchlist scoring passes before shedding with 429 (0 = 4)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline (0 = 30s, negative disables)")
@@ -116,6 +122,27 @@ func run() error {
 		}
 	}
 
+	// Bind and answer immediately: until WAL replay finishes the gate
+	// reports "starting" with 503, so cluster probes and load balancers
+	// can tell "recovering" from "dead" instead of timing out.
+	gate := cluster.NewGate()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           gate,
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 10 * time.Second,
+		// Watchlist responses for large fleets take a while to build;
+		// give writes the read budget plus slack.
+		WriteTimeout: *readTimeout + 30*time.Second,
+		IdleTimeout:  *idleTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("ssdserved: listening on %s (readiness gate up while state recovers)", ln.Addr())
+
 	srv, err := serve.New(serve.Config{
 		ModelPath:          *modelPath,
 		Shards:             *shards,
@@ -135,8 +162,10 @@ func run() error {
 		ModelLoadAttempts:  *modelTries,
 		RemedyPolicy:       remedyPolicy,
 		RemedySpares:       *remedySpares,
+		NodeName:           *nodeName,
 	})
 	if err != nil {
+		httpSrv.Close()
 		return err
 	}
 	// Flush and close the WAL on every exit path, after the HTTP server
@@ -156,22 +185,21 @@ func run() error {
 		}
 	}
 
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadTimeout:       *readTimeout,
-		ReadHeaderTimeout: 10 * time.Second,
-		// Watchlist responses for large fleets take a while to build;
-		// give writes the read budget plus slack.
-		WriteTimeout: *readTimeout + 30*time.Second,
-		IdleTimeout:  *idleTimeout,
-	}
+	gate.Ready(srv.Handler())
+	log.Printf("ssdserved: serving on %s (model %s)", ln.Addr(), *modelPath)
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("ssdserved: serving on %s (model %s)", *addr, *modelPath)
+	if *follow != "" {
+		fol := &cluster.Follower{
+			Upstream:     *follow,
+			Apply:        srv.ApplyReplicated,
+			PollInterval: *followPoll,
+		}
+		go func() { _ = fol.Run(ctx) }() // exits only on shutdown; pull errors are retried inside
+		log.Printf("ssdserved: following %s (WAL stream replication)", *follow)
+	}
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssdfail/internal/serve"
+	"ssdfail/internal/trace"
+)
+
+// Follower pulls a primary's WAL over GET /v1/wal/stream and applies
+// every frame through the local node's durable path. The wire is the
+// WAL's own frame format with explicit LSNs; the follower re-verifies
+// each frame's CRC and LSN continuity before applying, so a damaged or
+// reordered byte stream stops the cursor rather than corrupting the
+// replica. The cursor is in-memory only: after a follower restart it
+// re-pulls from zero and the store's duplicate rejection makes the
+// overlap benign (counted, not applied twice).
+type Follower struct {
+	// Upstream is the primary's base URL.
+	Upstream string
+	// Apply applies one replicated record; serve.(*Server).ApplyReplicated
+	// is the production implementation.
+	Apply func(id uint32, model trace.Model, rec trace.DayRecord) (bool, error)
+	// Client is the HTTP client (nil = a dedicated client with sane
+	// timeouts).
+	Client *http.Client
+	// PollInterval is the idle re-poll cadence (0 = 50ms).
+	PollInterval time.Duration
+	// MaxBytes caps one pull response (0 = server default).
+	MaxBytes int
+
+	next    atomic.Uint64 // LSN the next pull starts from
+	applied atomic.Uint64
+	skipped atomic.Uint64
+	pulls   atomic.Uint64
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// FollowerStats snapshots replication progress.
+type FollowerStats struct {
+	// NextLSN is where the next pull resumes (last applied + 1).
+	NextLSN uint64
+	// Applied and Skipped count records newly applied vs already
+	// present; Pulls counts catch-up requests issued.
+	Applied uint64
+	Skipped uint64
+	Pulls   uint64
+	// LastErr is the most recent pull/apply error (nil when healthy).
+	LastErr error
+}
+
+// Stats returns a consistent-enough snapshot for health reporting.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	err := f.lastErr
+	f.mu.Unlock()
+	return FollowerStats{
+		NextLSN: f.next.Load() + 1,
+		Applied: f.applied.Load(),
+		Skipped: f.skipped.Load(),
+		Pulls:   f.pulls.Load(),
+		LastErr: err,
+	}
+}
+
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+}
+
+// Run pulls until ctx is canceled. Transient pull failures (primary
+// down, partitioned, mid-write torn frames) are retried forever at the
+// poll cadence — a follower's job during a primary outage is to keep
+// trying so promotion hands it a caught-up store.
+func (f *Follower) Run(ctx context.Context) error {
+	client := f.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	interval := f.PollInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		progressed, err := f.pullOnce(ctx, client)
+		f.setErr(err)
+		if err == nil && progressed {
+			// More frames may be waiting; pull again immediately.
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// pullOnce issues one catch-up request and applies its frames,
+// reporting whether the cursor advanced.
+func (f *Follower) pullOnce(ctx context.Context, client *http.Client) (bool, error) {
+	from := f.next.Load() + 1
+	url := fmt.Sprintf("%s/v1/wal/stream?from=%d", f.Upstream, from)
+	if f.MaxBytes > 0 {
+		url += fmt.Sprintf("&max_bytes=%d", f.MaxBytes)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	f.pulls.Add(1)
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	//ssdlint:allow droppederr response body close on a fully-read or abandoned pull; the next poll re-pulls from the cursor
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("cluster: pull from %s: status %d: %s", f.Upstream, resp.StatusCode, body)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, err
+	}
+	progressed := false
+	expect := from
+	for len(data) > 0 {
+		n, lsn, payload := serve.ParseStreamFrame(data)
+		if n == 0 {
+			// Torn or checksum-failed frame: stop here, keep what was
+			// applied, re-poll from the cursor.
+			return progressed, errors.New("cluster: damaged frame on catch-up wire")
+		}
+		if lsn != expect {
+			return progressed, fmt.Errorf("cluster: catch-up wire skipped from %d to %d", expect, lsn)
+		}
+		id, model, rec, err := serve.DecodeWALRecord(payload)
+		if err != nil {
+			// Version skew: the primary logged a record this build cannot
+			// decode. Skipping would silently lose it on the replica, so
+			// stop the cursor and surface the error instead.
+			return progressed, fmt.Errorf("cluster: undecodable replicated record at lsn %d: %w", lsn, err)
+		}
+		applied, err := f.Apply(id, model, rec)
+		if err != nil {
+			return progressed, err
+		}
+		if applied {
+			f.applied.Add(1)
+		} else {
+			f.skipped.Add(1)
+		}
+		f.next.Store(lsn)
+		progressed = true
+		expect = lsn + 1
+		data = data[n:]
+	}
+	return progressed, nil
+}

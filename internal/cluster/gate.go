@@ -1,0 +1,45 @@
+// Package cluster is the coordinator tier that turns N ssdserved
+// processes into one fleet-scoring service: a consistent-hash ring
+// partitions drive IDs across nodes, each node's WAL is streamed to a
+// follower for fast failover, a deterministic tracker turns missed
+// health probes into sticky promotions, and fleet-wide queries are
+// answered by scatter-gather with per-node deadlines, hedged retries
+// on the slow tail, and explicit partial-result degradation — a
+// `degraded` node list instead of an error when a partition is
+// unreachable.
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// Gate is the readiness shim a node serves while it is still
+// recovering its WAL: the listener is bound (so probes connect instead
+// of getting refused) but every request — including GET /v1/health —
+// answers 503 with status "starting" until the real handler is swapped
+// in. Routers only route to a node whose health probe returns 200 with
+// status "ready", so a restarting node is never handed traffic it
+// would serve from a half-replayed store.
+type Gate struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewGate returns a gate in the starting state.
+func NewGate() *Gate { return &Gate{} }
+
+// Ready swaps the real handler in; subsequent requests are served by h.
+func (g *Gate) Ready(h http.Handler) { g.h.Store(&h) }
+
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if hp := g.h.Load(); hp != nil {
+		(*hp).ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	//ssdlint:allow droppederr probe client gone; the gate has nothing durable to lose
+	json.NewEncoder(w).Encode(map[string]string{"status": "starting"})
+}

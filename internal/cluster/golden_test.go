@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite partition-scenario golden event logs")
+
+// clusterScenariosDir is the committed partition-scenario corpus,
+// relative to this package.
+const clusterScenariosDir = "../../scenarios/cluster"
+
+func listClusterScenarios(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(clusterScenariosDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no scenarios under %s", clusterScenariosDir)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// TestPartitionScenariosAgainstGoldens replays every committed
+// partition scenario through the tracker, requires every assertion to
+// hold, and diffs the failover event log byte for byte against
+// scenarios/cluster/golden/<name>.eventlog. Run with -update to
+// rewrite the goldens after an intentional tracker change.
+func TestPartitionScenariosAgainstGoldens(t *testing.T) {
+	for _, path := range listClusterScenarios(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			sc, err := LoadClusterScenario(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("assertion violations:\n  %s", strings.Join(res.Violations, "\n  "))
+			}
+			golden := filepath.Join(clusterScenariosDir, "golden", sc.Name+".eventlog")
+			if *updateGolden {
+				if err := os.WriteFile(golden, res.EventLog, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(res.EventLog, want) {
+				t.Fatalf("event log drifted from golden %s:\n--- got ---\n%s--- want ---\n%s",
+					golden, res.EventLog, want)
+			}
+		})
+	}
+}
+
+// TestPartitionScenariosAreDeterministic replays each scenario twice
+// and requires byte-identical logs — the tracker is pure state, so any
+// divergence means hidden nondeterminism crept into the failover path.
+func TestPartitionScenariosAreDeterministic(t *testing.T) {
+	for _, path := range listClusterScenarios(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			sc, err := LoadClusterScenario(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.EventLog, b.EventLog) {
+				t.Fatal("same scenario produced two different event logs")
+			}
+		})
+	}
+}
+
+func TestClusterScenarioValidationRejectsBadDocuments(t *testing.T) {
+	bad := []string{
+		`{"name":"x","rounds":0,"partitions":[{"primary":"a"}]}`,
+		`{"name":"x","rounds":5,"partitions":[]}`,
+		`{"name":"x","rounds":5,"partitions":[{"primary":"a"},{"primary":"a"}]}`,
+		`{"name":"x","rounds":5,"partitions":[{"primary":"a"}],"events":[{"at":9,"partition":"a"}]}`,
+		`{"name":"x","rounds":5,"partitions":[{"primary":"a"}],"events":[{"at":1,"partition":"zz"}]}`,
+		`{"name":"x","rounds":5,"partitions":[{"primary":"a"}],"assertions":[{"type":"active","node":"a","want":"follower"},{"type":"nope"}]}`,
+		`{"name":"x","rounds":5,"partitions":[{"primary":"a"}],"unknown_key":1}`,
+	}
+	for i, doc := range bad {
+		if _, err := ParseClusterScenario([]byte(doc)); err == nil {
+			t.Errorf("bad document %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring assigns drive IDs to partitions by consistent hashing. Each
+// partition contributes vnodes points hashed from its name, and a
+// drive ID is spread with the store's own multiplicative scheme
+// (id * 2654435761, the same mix internal/serve uses to shard its
+// map) before walking clockwise to the first point. Adding or removing
+// one partition therefore remaps only ~1/N of the ID space, and two
+// routers configured with the same partition names agree on every
+// assignment without talking to each other.
+type Ring struct {
+	names  []string
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int // into names
+}
+
+// DefaultVnodes is the per-partition point count; at 128 points the
+// max/min partition load ratio stays within a few percent.
+const DefaultVnodes = 128
+
+// fnv1a is FNV-1a over a byte string, inlined so the hot Owner path
+// allocates nothing. The raw FNV state is finished with a splitmix64
+// finalizer: FNV alone leaves the high bits of short, similar strings
+// ("n1#0", "n1#1", ...) correlated, which makes ring arcs — and thus
+// partition load — wildly uneven.
+func fnv1a(data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// NewRing builds a ring over the given partition names (vnodes <= 0
+// means DefaultVnodes). Names must be unique and non-empty.
+func NewRing(names []string, vnodes int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one partition")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(names))
+	r := &Ring{names: append([]string(nil), names...)}
+	r.points = make([]ringPoint, 0, len(names)*vnodes)
+	for i, name := range r.names {
+		if name == "" {
+			return nil, fmt.Errorf("cluster: empty partition name")
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate partition %q", name)
+		}
+		seen[name] = true
+		for v := 0; v < vnodes; v++ {
+			point := fnv1a([]byte(fmt.Sprintf("%s#%d", name, v)))
+			r.points = append(r.points, ringPoint{hash: point, idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		// Hash ties break on the stable name order so every router
+		// resolves them identically.
+		return r.names[pa.idx] < r.names[pb.idx]
+	})
+	return r, nil
+}
+
+// Owner returns the partition name owning a drive ID.
+func (r *Ring) Owner(id uint32) string {
+	// The store's multiplicative mix spreads sequential IDs; folding it
+	// through FNV-1a decorrelates the key from the point hashes.
+	mixed := id * 2654435761
+	key := fnv1a([]byte{byte(mixed), byte(mixed >> 8), byte(mixed >> 16), byte(mixed >> 24)})
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.names[r.points[i].idx]
+}
+
+// Partitions returns the partition names in declaration order.
+func (r *Ring) Partitions() []string { return append([]string(nil), r.names...) }

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestRingAssignmentsAreDeterministic(t *testing.T) {
+	names := []string{"n1", "n2", "n3"}
+	a, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3", "n1", "n2"}, 0) // declaration order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint32(0); id < 10000; id++ {
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("drive %d: ring disagreement %s vs %s — two routers would split writes",
+				id, a.Owner(id), b.Owner(id))
+		}
+	}
+}
+
+func TestRingSpreadsLoad(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 30000
+	for id := uint32(0); id < n; id++ {
+		counts[r.Owner(id)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d partitions received drives: %v", len(counts), counts)
+	}
+	for name, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.20 || frac > 0.47 {
+			t.Errorf("partition %s owns %.1f%% of drives, want roughly a third (%v)",
+				name, frac*100, counts)
+		}
+	}
+}
+
+func TestRingMinimalRemapOnGrowth(t *testing.T) {
+	three, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	moved := 0
+	for id := uint32(0); id < n; id++ {
+		before, after := three.Owner(id), four.Owner(id)
+		if before != after {
+			moved++
+			if after != "n4" {
+				t.Fatalf("drive %d moved %s -> %s; growth may only move drives to the new partition",
+					id, before, after)
+			}
+		}
+	}
+	// Consistent hashing moves ~1/4 of keys when going 3 -> 4.
+	if frac := float64(moved) / n; frac < 0.10 || frac > 0.40 {
+		t.Errorf("adding a partition moved %.1f%% of drives, want ~25%%", frac*100)
+	}
+}
+
+func TestRingRejectsBadTopology(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate partition accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Error("empty partition name accepted")
+	}
+}

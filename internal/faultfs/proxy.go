@@ -1,0 +1,164 @@
+package faultfs
+
+// Proxy extends fault injection beyond the filesystem to the network:
+// a TCP forwarder that sits between cluster processes and can be
+// partitioned mid-run. It lets the chaos harness cut a node off from
+// routers and clients the way a switch failure would — connections
+// blackhole rather than refuse, so the far side discovers the
+// partition only through its own deadlines — while the node itself
+// keeps running (and, crucially, its follower can keep replicating
+// over a different path).
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Proxy is a TCP forwarder with partition injection. While
+// partitioned, new connections are accepted and then starved
+// (blackholed) and existing proxied connections are severed; Heal
+// restores normal forwarding for connections made afterwards.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mu          sync.Mutex
+	partitioned bool
+	conns       map[net.Conn]struct{} // accepted client conns, incl. blackholed
+	closed      bool
+
+	accepted    atomic.Uint64
+	blackholed  atomic.Uint64
+	bytesCopied atomic.Uint64
+}
+
+// NewProxy listens on 127.0.0.1:0 and forwards to target (host:port).
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partition cuts the link: existing connections are severed and new
+// ones blackhole until Heal.
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	for c := range p.conns {
+		c.Close() //ssdlint:allow droppederr severing a connection is the fault being injected; the error is the point
+		delete(p.conns, c)
+	}
+	p.mu.Unlock()
+}
+
+// Heal restores forwarding for new connections. Connections accepted
+// while partitioned stay blackholed — a real network heal does not
+// resurrect dead flows either.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.partitioned = false
+	p.mu.Unlock()
+}
+
+// Partitioned reports the current fault state.
+func (p *Proxy) Partitioned() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.partitioned
+}
+
+// Close stops the listener and severs everything.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close() //ssdlint:allow droppederr teardown of an injected-fault conn; nothing durable is at stake
+		delete(p.conns, c)
+	}
+	p.mu.Unlock()
+	return p.ln.Close()
+}
+
+// Stats reports accepted, blackholed, and forwarded-byte counts.
+func (p *Proxy) Stats() (accepted, blackholed, bytesCopied uint64) {
+	return p.accepted.Load(), p.blackholed.Load(), p.bytesCopied.Load()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.accepted.Add(1)
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close() //ssdlint:allow droppederr teardown race with Close; nothing durable is at stake
+			return
+		}
+		p.conns[client] = struct{}{}
+		partitioned := p.partitioned
+		p.mu.Unlock()
+		if partitioned {
+			// Blackhole: hold the connection open, never read or forward.
+			// The peer's write buffers fill and its deadlines expire —
+			// the honest shape of a network partition, unlike a RST.
+			p.blackholed.Add(1)
+			continue
+		}
+		go p.forward(client)
+	}
+}
+
+func (p *Proxy) forward(client net.Conn) {
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		p.drop(client)
+		return
+	}
+	p.mu.Lock()
+	if p.partitioned || p.closed {
+		p.mu.Unlock()
+		upstream.Close() //ssdlint:allow droppederr partition raced the dial; the conn is being severed anyway
+		p.drop(client)
+		return
+	}
+	p.conns[upstream] = struct{}{}
+	p.mu.Unlock()
+
+	done := make(chan struct{}, 2)
+	pump := func(dst, src net.Conn) {
+		n, _ := io.Copy(dst, src) //ssdlint:allow droppederr a severed proxy conn errors by design; byte count still recorded
+		p.bytesCopied.Add(uint64(n))
+		done <- struct{}{}
+	}
+	go pump(upstream, client)
+	go pump(client, upstream)
+	<-done
+	// Half-close is enough for HTTP/1.1 keep-alive semantics here; once
+	// either direction ends, sever both and forget the pair.
+	p.drop(client)
+	p.drop(upstream)
+	<-done
+}
+
+func (p *Proxy) drop(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close() //ssdlint:allow droppederr severing a proxied conn; nothing durable is at stake
+}

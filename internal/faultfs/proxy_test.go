@@ -1,0 +1,115 @@
+package faultfs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestProxyForwardsAndPartitions(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	}))
+	defer backend.Close()
+
+	p, err := NewProxy(backend.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Short-timeout client with keep-alives off, so each request dials a
+	// fresh connection and partitioned state applies immediately.
+	client := &http.Client{
+		Timeout:   300 * time.Millisecond,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	url := "http://" + p.Addr() + "/"
+
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("through healthy proxy: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("body = %q", body)
+	}
+
+	// Partitioned: the connection is accepted then starved — the client
+	// discovers the fault only via its own deadline, like a real
+	// network partition.
+	p.Partition()
+	if !p.Partitioned() {
+		t.Fatal("Partitioned() = false after Partition()")
+	}
+	start := time.Now()
+	if _, err := client.Get(url); err == nil {
+		t.Fatal("request through partitioned proxy succeeded")
+	}
+	if d := time.Since(start); d < 200*time.Millisecond {
+		t.Errorf("partitioned request failed after %v; want a timeout, not a refusal", d)
+	}
+
+	// Healed: new connections forward again.
+	p.Heal()
+	resp, err = client.Get(url)
+	if err != nil {
+		t.Fatalf("through healed proxy: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("post-heal body = %q", body)
+	}
+
+	accepted, blackholed, copied := p.Stats()
+	if accepted < 3 || blackholed != 1 || copied == 0 {
+		t.Errorf("stats accepted=%d blackholed=%d copied=%d", accepted, blackholed, copied)
+	}
+}
+
+func TestProxyPartitionSeversExistingConns(t *testing.T) {
+	backend, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	go func() {
+		for {
+			c, err := backend.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c) // echo
+		}
+	}()
+
+	p, err := NewProxy(backend.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("echo through proxy: %q, %v", buf, err)
+	}
+
+	p.Partition()
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read on a severed connection succeeded")
+	}
+}

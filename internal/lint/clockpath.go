@@ -11,10 +11,14 @@ import (
 // frozen-clock tests cover every handler's latency and age metrics, and
 // the remediation engine, whose only notion of time is the evaluation
 // tick — a wall-clock read there would break byte-identical scenario
-// replay.
+// replay. The cluster tier is held to the same discipline: its failover
+// decisions are keyed to probe rounds (so partition scenarios replay
+// byte-identically) and its only time dependencies are injected
+// intervals and context deadlines, never a wall-clock read.
 var clockPkgs = []string{
 	"internal/serve",
 	"internal/remedy",
+	"internal/cluster",
 }
 
 // ClockPathAnalyzer flags direct wall-clock reads — time.Now() or
@@ -26,8 +30,8 @@ func ClockPathAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "clockpath",
 		Doc: "flags direct time.Now()/time.Since() calls in clock-disciplined packages " +
-			"(internal/serve, internal/remedy) outside the clock-injection seam " +
-			"(binding time.Now as a default is the seam)",
+			"(internal/serve, internal/remedy, internal/cluster) outside the " +
+			"clock-injection seam (binding time.Now as a default is the seam)",
 		InScope: scopePackages("clockpath", clockPkgs, nil),
 		Check:   checkClockPath,
 	}

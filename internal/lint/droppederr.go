@@ -15,22 +15,25 @@ var durabilityMethods = map[string]bool{
 	"Write": true, "WriteString": true, "WriteTo": true,
 }
 
-// durabilityPkgs is the droppederr scope: the write-ahead log and the
-// serving daemon that journals through it.
+// durabilityPkgs is the droppederr scope: the write-ahead log, the
+// serving daemon that journals through it, and the cluster tier that
+// replicates the journal across nodes.
 var durabilityPkgs = []string{
 	"internal/wal",
 	"internal/serve",
+	"internal/cluster",
 }
 
 // DroppedErrAnalyzer flags discarded error returns from Sync, Flush,
-// Close, and Write(-family) calls in internal/wal and internal/serve —
-// as an expression statement, behind defer, or assigned to the blank
-// identifier.
+// Close, and Write(-family) calls in internal/wal, internal/serve, and
+// internal/cluster — as an expression statement, behind defer, or
+// assigned to the blank identifier.
 func DroppedErrAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "droppederr",
-		Doc: "flags discarded errors from Sync/Flush/Close/Write in internal/wal " +
-			"and internal/serve, where a swallowed fsync error is a durability hole",
+		Doc: "flags discarded errors from Sync/Flush/Close/Write in internal/wal, " +
+			"internal/serve, and internal/cluster, where a swallowed fsync or " +
+			"replication-apply error is a durability hole",
 		InScope: scopePackages("droppederr", durabilityPkgs, nil),
 		Check:   checkDroppedErr,
 	}

@@ -1,0 +1,109 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Chaos turns a load run into a fault drill: actions fire at fractions
+// of the scheduled record volume, keyed off the runner's live
+// accepted-records counter rather than wall time, so "kill a node at
+// 30% load" means the same thing on a fast laptop and a slow CI box.
+
+// ChaosAction is one fault (or heal) to inject mid-run.
+type ChaosAction struct {
+	// AtFraction is the accepted-records fraction of the scheduled total
+	// at which the action fires, in [0, 1).
+	AtFraction float64
+	// Name labels the action in the log.
+	Name string
+	// Do injects the fault. An error aborts the chaos plan (not the
+	// load run) and is reported by RunChaos.
+	Do func() error
+}
+
+// ChaosLogEntry records one fired action for the run report.
+type ChaosLogEntry struct {
+	Name string `json:"name"`
+	// AtRecords is the accepted-record count when the action fired.
+	AtRecords uint64 `json:"at_records"`
+	// Elapsed is wall time since the chaos plan started.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// ChaosPlan is an ordered set of actions over one run.
+type ChaosPlan struct {
+	// Actions must be sorted by AtFraction (Validate checks).
+	Actions []ChaosAction
+	// Poll is the progress poll cadence (0 = 5ms).
+	Poll time.Duration
+
+	fired atomic.Int32
+	log   []ChaosLogEntry
+}
+
+// Validate checks ordering and bounds.
+func (p *ChaosPlan) Validate() error {
+	prev := -1.0
+	for i, a := range p.Actions {
+		if a.AtFraction < 0 || a.AtFraction >= 1 {
+			return fmt.Errorf("loadgen: chaos action %d (%s): fraction %.3f outside [0, 1)", i, a.Name, a.AtFraction)
+		}
+		if a.AtFraction < prev {
+			return fmt.Errorf("loadgen: chaos action %d (%s): fractions must be non-decreasing", i, a.Name)
+		}
+		if a.Do == nil {
+			return fmt.Errorf("loadgen: chaos action %d (%s): nil Do", i, a.Name)
+		}
+		prev = a.AtFraction
+	}
+	return nil
+}
+
+// Fired reports how many actions have fired so far (safe concurrently).
+func (p *ChaosPlan) Fired() int { return int(p.fired.Load()) }
+
+// Log returns the fired-action log; call only after RunChaos returns.
+func (p *ChaosPlan) Log() []ChaosLogEntry { return p.log }
+
+// RunChaos drives the plan against a live run: it polls the runner's
+// accepted-records progress and fires each action once its fraction of
+// totalRecords is reached. Call it in a goroutine alongside Runner.Run
+// with the same context; it returns when all actions fired, the context
+// ended, or an action failed.
+func (p *ChaosPlan) RunChaos(ctx context.Context, r *Runner, totalRecords int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	poll := p.Poll
+	if poll <= 0 {
+		poll = 5 * time.Millisecond
+	}
+	start := time.Now()
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for i := range p.Actions {
+		a := &p.Actions[i]
+		threshold := uint64(a.AtFraction * float64(totalRecords))
+		for r.AcceptedSoFar() < threshold {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-ticker.C:
+			}
+		}
+		at := r.AcceptedSoFar()
+		if err := a.Do(); err != nil {
+			return fmt.Errorf("loadgen: chaos action %s: %w", a.Name, err)
+		}
+		p.log = append(p.log, ChaosLogEntry{
+			Name:           a.Name,
+			AtRecords:      at,
+			ElapsedSeconds: time.Since(start).Seconds(),
+		})
+		p.fired.Add(1)
+	}
+	return nil
+}

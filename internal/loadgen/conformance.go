@@ -20,6 +20,15 @@ type VerifyOptions struct {
 	// MaxViolations caps the returned list; 0 means 64. The count in
 	// the final summary line is always exact.
 	MaxViolations int
+	// Cluster relaxes the single-daemon exactness checks for runs driven
+	// through ssdrouter under chaos: rejections (failover re-sends are
+	// rejected benignly by the store's duplicate detection), transport
+	// errors (bridged by the client's transient retries), and the exact
+	// metrics accounting (the router's rollup is a different contract)
+	// stop being violations. What stays exact is the loss oracle: every
+	// drive's end state must match the schedule precisely, so any
+	// accepted-then-lost record still fails the run.
+	Cluster bool
 }
 
 // Verify runs the end-to-end conformance pass against the daemon after
@@ -39,18 +48,20 @@ func (r *Runner) Verify(ctx context.Context, res *Result, opts VerifyOptions) ([
 
 	// Offered records must be fully explained before per-drive state can
 	// be exact: the schedule replays a validated trace, so any rejection
-	// or drop is itself a failure of daemon or harness.
-	if res.RejectedRecords > 0 {
+	// or drop is itself a failure of daemon or harness. Under chaos,
+	// rejections and transport errors are the expected residue of
+	// failover re-sends; drops are still records that never landed.
+	if res.RejectedRecords > 0 && !opts.Cluster {
 		v.addf("daemon rejected %d records from a pre-validated trace", res.RejectedRecords)
 	}
 	if res.DroppedRecords > 0 {
 		v.addf("%d records dropped (shed beyond the retry budget or aborted)", res.DroppedRecords)
 	}
-	if n := len(res.TransportErrors); n > 0 {
+	if n := len(res.TransportErrors); n > 0 && !opts.Cluster {
 		v.addf("%d transport errors (first: %s) — exact accounting impossible", n, res.TransportErrors[0])
 	}
 
-	harness := newStreamState()
+	harness := newStreamState(r.Seed, ^uint64(0)-1)
 	r.verifyDrives(ctx, res, harness, opts, &v)
 
 	finalVersion, err := r.readVersion(ctx, harness)
@@ -69,7 +80,9 @@ func (r *Runner) Verify(ctx context.Context, res *Result, opts VerifyOptions) ([
 	}
 	res.FinalMetrics = finalMetrics
 	res.merge(harness)
-	verifyAccounting(res, &v)
+	if !opts.Cluster {
+		verifyAccounting(res, &v)
+	}
 
 	return v.list, nil
 }
@@ -115,7 +128,7 @@ func (r *Runner) verifyDrives(ctx context.Context, res *Result, st *streamState,
 	for _, id := range ids {
 		want := res.Sched.Drives[id]
 		op := Op{Kind: OpDrive, Path: "/v1/drive/" + strconv.FormatUint(uint64(id), 10)}
-		code, body, dur, err := r.do(ctx, &op)
+		code, body, dur, _, err := r.do(ctx, &op)
 		st.record(OpDrive, code, dur)
 		if err != nil {
 			st.fail(err)

@@ -30,7 +30,12 @@ type Report struct {
 	RejectedRecords uint64  `json:"rejected_records"`
 	DroppedRecords  uint64  `json:"dropped_records"`
 	ShedRequests    uint64  `json:"shed_requests"`
-	TransportErrors int     `json:"transport_errors"`
+	// ShedRetries counts re-sends after a 429 (Retry-After honored,
+	// capped exponential backoff); TransientRetries counts re-sends
+	// after transport errors or 502/503/504 in cluster mode.
+	ShedRetries      uint64 `json:"shed_retries"`
+	TransientRetries uint64 `json:"transient_retries"`
+	TransportErrors  int    `json:"transport_errors"`
 
 	Reloads    int `json:"reloads"`
 	Watchlists int `json:"watchlists"`
@@ -73,6 +78,8 @@ func NewReport(res *Result, violations []string, checked bool) *Report {
 		AcceptedRecords:   res.AcceptedRecords,
 		RejectedRecords:   res.RejectedRecords,
 		DroppedRecords:    res.DroppedRecords,
+		ShedRetries:       res.ShedRetries,
+		TransientRetries:  res.TransientRetries,
 		TransportErrors:   len(res.TransportErrors),
 		Reloads:           len(res.Reloads),
 		Watchlists:        len(res.Watchlists),

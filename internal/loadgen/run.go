@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,12 +21,31 @@ type Runner struct {
 	// Client is the HTTP client to use; nil means a dedicated client
 	// with a connection pool sized to the stream count.
 	Client *http.Client
-	// MaxShedRetries bounds how many times a shed (429) ingest batch is
-	// retried before its records are declared dropped. 0 means 64.
-	// Every attempt is counted: retries show up in the request totals
-	// and the shed accounting, never silently.
+	// MaxShedRetries bounds how many times a shed (429) or — with
+	// RetryTransient — transiently failed ingest batch is retried
+	// before its records are declared dropped. 0 means 64. Every
+	// attempt is counted: retries show up in the request totals and the
+	// shed accounting, never silently.
 	MaxShedRetries int
+	// RetryTransient additionally retries ingest batches that fail at
+	// the transport layer or with 502/503/504 — cluster mode, where a
+	// node restart or partition makes such failures expected and the
+	// store's duplicate rejection makes re-sends benign. Off (the
+	// strict single-node default), any transport error is a recorded
+	// failure.
+	RetryTransient bool
+	// Seed seeds the per-stream retry jitter (0 = 1). Two runs with the
+	// same seed back off identically given identical server behavior.
+	Seed uint64
+
+	// progress counts records accepted so far, readable mid-run by the
+	// chaos harness to trigger faults at load fractions.
+	progress atomic.Uint64
 }
+
+// AcceptedSoFar reports records accepted across all streams so far;
+// safe to call while Run is in flight.
+func (r *Runner) AcceptedSoFar() uint64 { return r.progress.Load() }
 
 // WatchObs is one successful watchlist response: which model version
 // answered, and when the request started. Conformance checks that the
@@ -64,6 +86,12 @@ type Result struct {
 	// DroppedRecords counts records in batches still shed after the
 	// retry budget: offered but never accepted nor rejected.
 	DroppedRecords uint64
+	// ShedRetries counts ingest-batch re-sends after a 429, and
+	// TransientRetries after a transport error or 502/503/504 (cluster
+	// mode). Both surface in the conformance report so retried load is
+	// visible, never silently folded into the totals.
+	ShedRetries      uint64
+	TransientRetries uint64
 
 	Watchlists []WatchObs
 	Reloads    []ReloadObs
@@ -91,16 +119,25 @@ type streamState struct {
 	rejected uint64
 	dropped  uint64
 
+	shedRetries      uint64
+	transientRetries uint64
+
+	rng *rand.Rand
+
 	watch    []WatchObs
 	reloads  []ReloadObs
 	errs     []string
 	lastVers int
 }
 
-func newStreamState() *streamState {
+func newStreamState(seed, stream uint64) *streamState {
+	if seed == 0 {
+		seed = 1
+	}
 	return &streamState{
 		hists: make(map[OpKind]*Histogram),
 		codes: make(map[OpKind]map[int]uint64),
+		rng:   rand.New(rand.NewPCG(seed, stream)),
 	}
 }
 
@@ -139,16 +176,17 @@ type versionReply struct {
 	ModelVersion int `json:"model_version"`
 }
 
-// do fires one request and returns status code, body, and latency. A
-// transport failure returns code 0 and a nil body.
-func (r *Runner) do(ctx context.Context, op *Op) (int, []byte, time.Duration, error) {
+// do fires one request and returns status code, body, latency, and the
+// server's Retry-After hint (0 when absent). A transport failure
+// returns code 0 and a nil body.
+func (r *Runner) do(ctx context.Context, op *Op) (int, []byte, time.Duration, time.Duration, error) {
 	var rd io.Reader
 	if op.Body != nil {
 		rd = bytes.NewReader(op.Body)
 	}
 	req, err := http.NewRequestWithContext(ctx, op.Kind.Method(), r.BaseURL+op.Path, rd)
 	if err != nil {
-		return 0, nil, 0, err
+		return 0, nil, 0, 0, err
 	}
 	if op.Body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -156,49 +194,104 @@ func (r *Runner) do(ctx context.Context, op *Op) (int, []byte, time.Duration, er
 	start := time.Now()
 	resp, err := r.Client.Do(req)
 	if err != nil {
-		return 0, nil, time.Since(start), err
+		return 0, nil, time.Since(start), 0, err
 	}
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	dur := time.Since(start)
 	if err != nil {
-		return resp.StatusCode, nil, dur, err
+		return resp.StatusCode, nil, dur, retryAfter, err
 	}
-	return resp.StatusCode, body, dur, nil
+	return resp.StatusCode, body, dur, retryAfter, nil
+}
+
+// parseRetryAfter interprets the delay-seconds form of Retry-After;
+// the HTTP-date form (which this fleet never sends) reads as absent.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 const (
 	defaultShedRetries = 64
-	shedBackoffStep    = time.Millisecond
-	shedBackoffMax     = 50 * time.Millisecond
+	retryBackoffBase   = 2 * time.Millisecond
+	retryBackoffMax    = time.Second
 )
 
-// execute runs one op on a stream, including the shed-retry loop for
-// ingest batches, and folds the outcome into the stream state.
+// retryDelay is the wait before retry attempt n (0-based): a capped
+// exponential with seeded jitter in [d/2, d], floored by the server's
+// Retry-After hint when one was sent. The server's hint wins even past
+// the cap — it knows its own shed horizon better than the client does.
+func retryDelay(rng *rand.Rand, attempt int, retryAfter time.Duration) time.Duration {
+	d := retryBackoffMax
+	if attempt < 20 {
+		if exp := retryBackoffBase << uint(attempt); exp < d {
+			d = exp
+		}
+	}
+	d = d/2 + time.Duration(rng.Int64N(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// sleepRetry waits out a backoff, reporting false if the run was
+// canceled first.
+func sleepRetry(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// execute runs one op on a stream, including the retry loop for ingest
+// batches, and folds the outcome into the stream state. Sheds (429) are
+// always retried with Retry-After-aware backoff; transport errors and
+// 502/503/504 are retried too when RetryTransient is set.
 func (r *Runner) execute(ctx context.Context, st *streamState, op *Op) {
 	retries := r.MaxShedRetries
 	if retries <= 0 {
 		retries = defaultShedRetries
 	}
 	for attempt := 0; ; attempt++ {
-		code, body, dur, err := r.do(ctx, op)
+		code, body, dur, retryAfter, err := r.do(ctx, op)
 		st.record(op.Kind, code, dur)
 		if err != nil {
+			if r.RetryTransient && op.Kind == OpIngestBatch && attempt < retries {
+				st.transientRetries++
+				if !sleepRetry(ctx, retryDelay(st.rng, attempt, 0)) {
+					st.dropped += uint64(op.Records)
+					return
+				}
+				continue
+			}
 			st.fail(fmt.Errorf("%s %s: %w", op.Kind, op.Path, err))
 			return
 		}
-		if code == http.StatusTooManyRequests && op.Kind == OpIngestBatch && attempt < retries {
-			backoff := time.Duration(attempt+1) * shedBackoffStep
-			if backoff > shedBackoffMax {
-				backoff = shedBackoffMax
+		shed := code == http.StatusTooManyRequests
+		transient := r.RetryTransient && (code == http.StatusBadGateway ||
+			code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout)
+		if (shed || transient) && op.Kind == OpIngestBatch && attempt < retries {
+			if shed {
+				st.shedRetries++
+			} else {
+				st.transientRetries++
 			}
-			select {
-			case <-time.After(backoff):
-				continue
-			case <-ctx.Done():
+			if !sleepRetry(ctx, retryDelay(st.rng, attempt, retryAfter)) {
 				st.dropped += uint64(op.Records)
 				return
 			}
+			continue
 		}
 		r.observe(st, op, code, body)
 		return
@@ -217,6 +310,7 @@ func (r *Runner) observe(st *streamState, op *Op, code int, body []byte) {
 		if json.Unmarshal(body, &rep) == nil {
 			st.accepted += uint64(rep.Accepted)
 			st.rejected += uint64(rep.Rejected)
+			r.progress.Add(uint64(rep.Accepted))
 			if miss := op.Records - rep.Accepted - rep.Rejected; miss > 0 {
 				st.dropped += uint64(miss)
 			}
@@ -298,7 +392,7 @@ func (r *Runner) Run(ctx context.Context, sched *Schedule) (*Result, error) {
 		Codes: make(map[string]map[int]uint64),
 	}
 
-	harness := newStreamState()
+	harness := newStreamState(r.Seed, ^uint64(0))
 	base, err := r.scrapeMetrics(ctx, harness)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: baseline metrics scrape: %w", err)
@@ -314,7 +408,7 @@ func (r *Runner) Run(ctx context.Context, sched *Schedule) (*Result, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
 	for s := range sched.Streams {
-		states[s] = newStreamState()
+		states[s] = newStreamState(r.Seed, uint64(s))
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
@@ -357,6 +451,8 @@ func (res *Result) merge(st *streamState) {
 	res.AcceptedRecords += st.accepted
 	res.RejectedRecords += st.rejected
 	res.DroppedRecords += st.dropped
+	res.ShedRetries += st.shedRetries
+	res.TransientRetries += st.transientRetries
 	res.Watchlists = append(res.Watchlists, st.watch...)
 	res.Reloads = append(res.Reloads, st.reloads...)
 	res.TransportErrors = append(res.TransportErrors, st.errs...)
@@ -365,7 +461,7 @@ func (res *Result) merge(st *streamState) {
 // scrapeMetrics fetches and parses /metrics, counting the request.
 func (r *Runner) scrapeMetrics(ctx context.Context, st *streamState) (map[string]float64, error) {
 	op := Op{Kind: OpMetrics, Path: "/metrics"}
-	code, body, dur, err := r.do(ctx, &op)
+	code, body, dur, _, err := r.do(ctx, &op)
 	st.record(OpMetrics, code, dur)
 	if err != nil {
 		return nil, err
@@ -379,7 +475,7 @@ func (r *Runner) scrapeMetrics(ctx context.Context, st *streamState) (map[string
 // readVersion fetches the serving model version, counting the request.
 func (r *Runner) readVersion(ctx context.Context, st *streamState) (int, error) {
 	op := Op{Kind: OpModel, Path: "/v1/model"}
-	code, body, dur, err := r.do(ctx, &op)
+	code, body, dur, _, err := r.do(ctx, &op)
 	st.record(OpModel, code, dur)
 	if err != nil {
 		return 0, err

@@ -73,7 +73,18 @@ func Run(sc *Scenario) (*RunResult, error) {
 		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
 	}
 
+	// Spares consumed by swaps come back through the repair pipeline
+	// after the configured delay; returns are credited at the start of
+	// their tick, before that tick's scripted events and evaluation.
+	repairDue := make(map[int]int)
+
 	for tick := 1; tick <= sc.Ticks; tick++ {
+		if n := repairDue[tick]; n > 0 {
+			if err := pool.Restock(n); err != nil {
+				return nil, err
+			}
+			delete(repairDue, tick)
+		}
 		var failures []uint32
 		for _, ev := range eventsAt[tick] {
 			switch {
@@ -107,8 +118,20 @@ func Run(sc *Scenario) (*RunResult, error) {
 			}
 			pass = append(pass, Score{DriveID: d.id, Model: d.model, Score: scores[d.id]})
 		}
-		if _, err := engine.Evaluate(pass, failures); err != nil {
+		events, err := engine.Evaluate(pass, failures)
+		if err != nil {
 			return nil, fmt.Errorf("remedy: scenario %s: tick %d: %w", sc.Name, tick, err)
+		}
+		if sc.RepairReturnDelayTicks > 0 {
+			swaps := 0
+			for _, ev := range events {
+				if ev.Action == ActionSwap {
+					swaps++
+				}
+			}
+			if swaps > 0 {
+				repairDue[tick+sc.RepairReturnDelayTicks] += swaps
+			}
 		}
 
 		// Per-tick invariants: the rate limiter's promise is checked

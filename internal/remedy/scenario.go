@@ -29,6 +29,12 @@ type Scenario struct {
 	Policy PolicySpec `json:"policy"`
 	// Spares stocks the pool at tick zero.
 	Spares int `json:"spares"`
+	// RepairReturnDelayTicks, when positive, models the repair pipeline:
+	// every spare a swap consumes re-enters the pool this many ticks
+	// later, so sustained remediation is bounded by repair throughput
+	// instead of explicit restock events. Returns that would land past
+	// the scenario horizon never arrive.
+	RepairReturnDelayTicks int `json:"repair_return_delay_ticks,omitempty"`
 	// Ticks is the number of evaluation passes to run.
 	Ticks int `json:"ticks"`
 	// BaseScore is every drive's score until an event changes it.
@@ -211,6 +217,9 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Spares < 0 {
 		return fmt.Errorf("remedy: scenario %s: negative spares", sc.Name)
+	}
+	if sc.RepairReturnDelayTicks < 0 {
+		return fmt.Errorf("remedy: scenario %s: negative repair_return_delay_ticks", sc.Name)
 	}
 	if len(sc.Fleet) == 0 {
 		return fmt.Errorf("remedy: scenario %s: empty fleet", sc.Name)

@@ -198,6 +198,19 @@ func (j *Journal) PrunedSegments() uint64 { return j.pruned.Load() }
 // LastLSN returns the most recently appended WAL position.
 func (j *Journal) LastLSN() uint64 { return j.log.LastLSN() }
 
+// StreamFrom invokes fn for every intact WAL frame with LSN >= from,
+// in order, returning the position a follower should resume from. The
+// log's in-process buffer is flushed (written through, not fsynced)
+// first, so every acknowledged record is visible to the stream
+// immediately. A from position older than the retained segments
+// returns an error wrapping wal.ErrPruned.
+func (j *Journal) StreamFrom(from uint64, fn func(lsn uint64, payload []byte) error) (uint64, error) {
+	if err := j.log.Flush(); err != nil {
+		return from, err
+	}
+	return wal.ReadFrom(j.opt.FS, j.opt.Dir, from, 0, fn)
+}
+
 // Upsert validates, journals, and applies one daily report. Validation
 // failures return the store's error with nothing logged; a WAL failure
 // returns an error wrapping ErrJournal with the store unchanged.

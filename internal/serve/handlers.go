@@ -87,6 +87,11 @@ type Config struct {
 	// (0 = remedy.DefaultRingCap).
 	RemedyLogCap int
 
+	// NodeName identifies this daemon in a cluster; it is reported by
+	// GET /v1/health so routers and operators can tell nodes apart.
+	// Empty is fine for a standalone daemon.
+	NodeName string
+
 	// Clock overrides the server's time source (request-duration and
 	// scoring-latency observations, uptime and model-age gauges, model
 	// load timestamps). Nil means time.Now. Tests inject a deterministic
@@ -128,6 +133,9 @@ type Server struct {
 	reloadFailures *Counter
 	sheds          *CounterVec
 	snapshotReqs   *Counter
+	replicaApplied *Counter
+	replicaSkipped *Counter
+	walStreamed    *Counter
 }
 
 // New builds a server, loads the model from cfg.ModelPath (with
@@ -207,6 +215,12 @@ func New(cfg Config) (*Server, error) {
 	s.sheds = m.NewCounterVec("ssdserved_load_shed_total",
 		"Requests shed with 429 because the handler's concurrency bound was full.",
 		"handler")
+	s.replicaApplied = m.NewCounter("ssdserved_replica_applied_total",
+		"Records applied from a primary's WAL stream (replication pull).")
+	s.replicaSkipped = m.NewCounter("ssdserved_replica_skipped_total",
+		"Replicated records skipped as already present (benign re-pull overlap).")
+	s.walStreamed = m.NewCounter("ssdserved_wal_stream_bytes_total",
+		"Bytes served to followers over the WAL catch-up endpoint.")
 	s.reloads.Inc() // the startup load above
 	if j := s.journal; j != nil {
 		s.snapshotReqs = m.NewCounter("ssdserved_snapshot_requests_total",
@@ -373,6 +387,8 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/remedy/log", "remedy_log", s.handleRemedyLog)
 	route("POST /v1/remedy/fail", "remedy_fail", s.handleRemedyFail)
 	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /v1/health", "health", s.handleHealth)
+	route("GET /v1/wal/stream", "wal_stream", s.handleWALStream)
 	route("GET /metrics", "metrics", s.handleMetrics)
 	return mux
 }

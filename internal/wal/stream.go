@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"ssdfail/internal/faultfs"
+)
+
+// ErrPruned reports that a requested stream position precedes the
+// oldest retained segment: a snapshot has pruned the frames away, so a
+// reader that far behind cannot catch up from the log alone.
+var ErrPruned = errors.New("wal: requested LSN precedes retained segments")
+
+// ReadFrom streams the durable log in dir, invoking fn for every
+// intact frame with LSN >= fromLSN in LSN order, and returns the next
+// LSN a subsequent call should resume from (last delivered + 1, or
+// fromLSN when nothing qualified). It is the replication wire reader:
+// each frame's CRC is re-verified by parseFrame before delivery, and
+// the first torn or corrupt frame ends the stream silently — the same
+// truncation posture Open takes at recovery, so a reader polling a
+// live log simply retries once the writer completes the frame.
+//
+// A fromLSN of 0 reads from the beginning. When fromLSN is older than
+// the oldest retained segment the error is ErrPruned (wrapped with the
+// retained floor); the reader must bootstrap from a snapshot instead.
+// Segments wholly before fromLSN are skipped by their names alone —
+// ReadFrom trusts boundary continuity for segments it does not read,
+// and verifies frame-level continuity within and across the segments
+// it does (a discontinuity ends the stream, mirroring recovery's
+// unreachable-segment rule).
+//
+// ReadFrom only sees bytes written through to the filesystem. Writers
+// that buffer appends in process (SyncEvery > 1) should Flush before a
+// read that must observe the latest accepted records. An fn error
+// aborts the stream and is returned verbatim; maxRecord <= 0 means
+// DefaultMaxRecordBytes.
+func ReadFrom(fsys faultfs.FS, dir string, fromLSN uint64, maxRecord int, fn func(lsn uint64, payload []byte) error) (uint64, error) {
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	if maxRecord <= 0 {
+		maxRecord = DefaultMaxRecordBytes
+	}
+	if fromLSN == 0 {
+		fromLSN = 1
+	}
+	firsts, err := listSegments(fsys, dir)
+	if err != nil {
+		return fromLSN, fmt.Errorf("wal: listing segments: %w", err)
+	}
+	if len(firsts) == 0 {
+		return fromLSN, nil
+	}
+	if fromLSN < firsts[0] {
+		return fromLSN, fmt.Errorf("%w: want %d, oldest retained %d", ErrPruned, fromLSN, firsts[0])
+	}
+	// Start at the last segment whose first LSN is <= fromLSN; earlier
+	// segments cannot contain a qualifying frame.
+	start := 0
+	for i, first := range firsts {
+		if first <= fromLSN {
+			start = i
+		}
+	}
+	next := fromLSN
+	var expected uint64
+	for i := start; i < len(firsts); i++ {
+		first := firsts[i]
+		if i > start && first != expected {
+			return next, nil
+		}
+		data, err := readAll(fsys, filepath.Join(dir, segName(first)))
+		if err != nil {
+			return next, fmt.Errorf("wal: reading %s: %w", segName(first), err)
+		}
+		lsn := first
+		for len(data) > 0 {
+			n, payload := parseFrame(data, maxRecord)
+			if n == 0 {
+				return next, nil
+			}
+			if lsn >= fromLSN {
+				if err := fn(lsn, payload); err != nil {
+					return next, err
+				}
+				next = lsn + 1
+			}
+			lsn++
+			data = data[n:]
+		}
+		expected = lsn
+	}
+	return next, nil
+}

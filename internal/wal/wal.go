@@ -555,6 +555,23 @@ func (l *Log) syncLocked() error {
 	return nil
 }
 
+// Flush writes buffered frames through to the active segment file
+// without forcing an fsync. It makes every accepted record visible to
+// same-filesystem readers (ReadFrom, replication pulls) at memory cost
+// rather than disk cost; durability guarantees are unchanged and still
+// governed by the SyncEvery policy.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return fmt.Errorf("%w: %w", ErrBroken, l.err)
+	}
+	return l.flushLocked()
+}
+
 // Sync flushes appended records to stable storage.
 func (l *Log) Sync() error {
 	l.mu.Lock()
