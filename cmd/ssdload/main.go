@@ -57,6 +57,7 @@ func run() int {
 		batch   = flag.Int("batch", 16, "records per ingest batch")
 		probe   = flag.Int("probe-every", 8, "interleave one read probe every N batches")
 		reload  = flag.Bool("reload-mid-run", true, "hot-swap the model at the midpoint of stream 0")
+		wire    = flag.String("wire", "json", "ingest wire format: json (POST /v1/ingest/batch) or binary (POST /v1/ingest/bin)")
 		remedy  = flag.Int("remedy-every", 0,
 			"interleave one remediation evaluation (POST /v1/remedy/evaluate) every N batches on stream 0 (0 = none)")
 		offset = flag.Uint("drive-offset", 0,
@@ -84,6 +85,7 @@ func run() int {
 		ReloadMidRun:   *reload,
 		RemedyEvery:    *remedy,
 		DriveIDOffset:  uint32(*offset),
+		Wire:           *wire,
 	}
 	sched, err := loadgen.Build(cfg)
 	if err != nil {
@@ -153,7 +155,11 @@ func run() int {
 		}
 		// A benchmark whose latency quantiles collapsed to zero is not a
 		// measurement; refuse to bless it.
-		q := rep.Endpoints["ingest_batch"]
+		ingestName := "ingest_batch"
+		if sched.Cfg.Wire == loadgen.WireBinary {
+			ingestName = "ingest_bin"
+		}
+		q := rep.Endpoints[ingestName]
 		if q.Count == 0 || q.P50 <= 0 || q.P99 <= 0 || q.P999 <= 0 {
 			fmt.Printf("conformance: FAIL: degenerate ingest latency quantiles (%s)\n", q)
 			exit = 2

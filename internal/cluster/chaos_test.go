@@ -276,6 +276,102 @@ func TestClusterChaosZeroAcceptedRecordLoss(t *testing.T) {
 	}
 }
 
+// TestRouterBinaryWireIngest drives the binary ingest wire end to end
+// through the router — frames split by ring owner without re-encoding —
+// across a kill -9 and recovery of one node, and holds the run to the
+// same zero-loss contract as the JSON wire: every acknowledged record
+// present in per-drive end state, exact to the day.
+func TestRouterBinaryWireIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is slow")
+	}
+
+	n1 := &chaosNode{name: "b1", walDir: t.TempDir()}
+	startChaosNode(t, n1)
+	t.Cleanup(func() {
+		if n1.httpSrv != nil {
+			n1.httpSrv.Close()
+		}
+	})
+	_, ts2 := newNode(t, "b2")
+
+	rt, rts := newTestRouter(t, RouterConfig{
+		Nodes: []Node{
+			{Name: "b1", URL: n1.url()},
+			{Name: "b2", URL: ts2.URL},
+		},
+		ProbeInterval:   20 * time.Millisecond,
+		PerNodeDeadline: 300 * time.Millisecond,
+	})
+	waitFor(t, 5*time.Second, "initial probes to settle", rt.AllUp)
+
+	lcfg := loadgen.DefaultConfig(43)
+	lcfg.DrivesPerModel = 16
+	lcfg.HorizonDays = 150
+	lcfg.Days = int32(serve.DefaultHistory)
+	lcfg.BatchSize = 8
+	lcfg.ProbeEvery = 4
+	lcfg.ReloadMidRun = false
+	lcfg.Wire = loadgen.WireBinary
+	sched, err := loadgen.Build(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runner := &loadgen.Runner{
+		BaseURL:        rts.URL,
+		RetryTransient: true, // cluster mode: re-sends are benign duplicates
+		Seed:           7,
+		MaxShedRetries: 128,
+	}
+
+	plan := &loadgen.ChaosPlan{Actions: []loadgen.ChaosAction{
+		{AtFraction: 0.4, Name: "kill-b1-restart", Do: func() error {
+			n1.kill()
+			time.Sleep(1 * time.Second)
+			startChaosNode(t, n1)
+			return nil
+		}},
+	}}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	chaosDone := make(chan error, 1)
+	go func() { chaosDone <- plan.RunChaos(ctx, runner, sched.TotalRecords) }()
+
+	res, err := runner.Run(ctx, sched)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := <-chaosDone; err != nil {
+		t.Fatalf("chaos plan: %v", err)
+	}
+	if plan.Fired() != len(plan.Actions) {
+		t.Fatalf("only %d/%d chaos actions fired", plan.Fired(), len(plan.Actions))
+	}
+
+	if res.ShedRetries+res.TransientRetries == 0 {
+		t.Error("no retries recorded — the kill did not disturb the run")
+	}
+	if res.DroppedRecords != 0 {
+		t.Fatalf("%d records dropped: the retry budget did not bridge the outage", res.DroppedRecords)
+	}
+
+	violations, err := runner.Verify(ctx, res, loadgen.VerifyOptions{
+		History: serve.DefaultHistory,
+		Cluster: true,
+	})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	for _, v := range violations {
+		t.Errorf("conformance: %s", v)
+	}
+}
+
 // TestReadinessGateHoldsUntilRecovery pins the starting-phase contract
 // on its own: a gated listener answers 503 {"status":"starting"} with a
 // Retry-After hint until the handler is swapped in.

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"ssdfail/internal/serve"
+	"ssdfail/internal/trace"
 )
 
 // Node declares one ring partition's endpoints for the router: the
@@ -269,6 +271,7 @@ func (rt *Router) Handler() http.Handler {
 	}
 	route("POST /v1/ingest", "ingest", rt.handleIngest)
 	route("POST /v1/ingest/batch", "ingest_batch", rt.handleIngestBatch)
+	route("POST /v1/ingest/bin", "ingest_bin", rt.handleIngestBin)
 	route("GET /v1/watchlist", "watchlist", rt.handleWatchlist)
 	route("GET /v1/drive/{id}", "drive", rt.handleDrive)
 	route("GET /v1/model", "model", rt.handleModel)
@@ -313,10 +316,15 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
+const (
+	contentTypeJSON   = "application/json"
+	contentTypeBinary = "application/octet-stream"
+)
+
 // do issues one request and reads the full response. A nil error with
 // code 0 never happens: transport failures return the error, HTTP
 // responses return their code and body.
-func (rt *Router) do(ctx context.Context, method, url string, body []byte) (int, []byte, error) {
+func (rt *Router) do(ctx context.Context, method, url, contentType string, body []byte) (int, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -326,7 +334,7 @@ func (rt *Router) do(ctx context.Context, method, url string, body []byte) (int,
 		return 0, nil, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
@@ -345,7 +353,7 @@ func (rt *Router) do(ctx context.Context, method, url string, body []byte) (int,
 // (hedge=true) a second identical request fires once the hedge delay
 // passes — or immediately when the first attempt fails — and the
 // first success wins; the deadline bounds the whole leg either way.
-func (rt *Router) doHedged(ctx context.Context, method, url string, body []byte, hedge bool) (int, []byte, error) {
+func (rt *Router) doHedged(ctx context.Context, method, url, contentType string, body []byte, hedge bool) (int, []byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, rt.cfg.PerNodeDeadline)
 	defer cancel()
 	type result struct {
@@ -355,7 +363,7 @@ func (rt *Router) doHedged(ctx context.Context, method, url string, body []byte,
 	}
 	ch := make(chan result, 2)
 	fire := func() {
-		code, b, err := rt.do(ctx, method, url, body)
+		code, b, err := rt.do(ctx, method, url, contentType, body)
 		ch <- result{code, b, err}
 	}
 	go fire()
@@ -423,7 +431,7 @@ func (rt *Router) scatter(ctx context.Context, method, pathAndQuery string, body
 		go func(i int, part string) {
 			defer wg.Done()
 			node, url := rt.target(part)
-			code, b, err := rt.doHedged(ctx, method, url+pathAndQuery, body, hedge)
+			code, b, err := rt.doHedged(ctx, method, url+pathAndQuery, contentTypeJSON, body, hedge)
 			legs[i] = leg{part: part, node: node, code: code, body: b, err: err}
 		}(i, part)
 	}
@@ -468,7 +476,7 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	part := rt.ring.Owner(*probe.DriveID)
 	node, url := rt.target(part)
-	code, b, err := rt.doHedged(r.Context(), http.MethodPost, url+"/v1/ingest", body, false)
+	code, b, err := rt.doHedged(r.Context(), http.MethodPost, url+"/v1/ingest", contentTypeJSON, body, false)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
@@ -500,6 +508,80 @@ type nodeBatchReply struct {
 	Errors   json.RawMessage `json:"errors"`
 }
 
+// batchLeg is one partition's share of a split ingest batch: the
+// pre-built request body going out and the node's reply coming back.
+type batchLeg struct {
+	leg
+	sub     []byte // request body for this partition
+	records int
+	reply   nodeBatchReply
+}
+
+// forwardBatchLegs posts each leg's pre-built body to its partition's
+// active endpoint concurrently, aggregates the node replies, and writes
+// the router's batch response. Both ingest wires share this tail: a
+// failed or unparseable leg degrades the response and counts its
+// records as dropped (the whole batch is safe to retry — duplicates are
+// rejected benignly), and the status policy is dropped/degraded → 503,
+// nothing accepted of a non-empty batch → 422, otherwise → 202.
+func (rt *Router) forwardBatchLegs(w http.ResponseWriter, r *http.Request, path, contentType string, legs []batchLeg, rejected, total int) {
+	var wg sync.WaitGroup
+	for i := range legs {
+		wg.Add(1)
+		go func(bl *batchLeg) {
+			defer wg.Done()
+			node, url := rt.target(bl.part)
+			bl.node = node
+			bl.code, bl.body, bl.err = rt.doHedged(r.Context(), http.MethodPost, url+path, contentType, bl.sub, false)
+		}(&legs[i])
+	}
+	wg.Wait()
+
+	accepted, dropped := 0, 0
+	var errList []json.RawMessage
+	degraded := []string{}
+	for i := range legs {
+		bl := &legs[i]
+		if bl.failed() {
+			rt.degraded.With(bl.node).Inc()
+			degraded = append(degraded, bl.node)
+			dropped += bl.records
+			continue
+		}
+		if err := json.Unmarshal(bl.body, &bl.reply); err != nil {
+			degraded = append(degraded, bl.node)
+			dropped += bl.records
+			continue
+		}
+		accepted += bl.reply.Accepted
+		rejected += bl.reply.Rejected
+		dropped += bl.reply.Dropped
+		if len(errList) < 10 && len(bl.reply.Errors) > 0 && string(bl.reply.Errors) != "null" {
+			errList = append(errList, bl.reply.Errors)
+		}
+	}
+	sort.Strings(degraded)
+	resp := map[string]any{
+		"accepted": accepted,
+		"rejected": rejected,
+		"dropped":  dropped,
+		"errors":   errList,
+		"degraded": degraded,
+	}
+	switch {
+	case dropped > 0 || len(degraded) > 0:
+		// Some records did not reach a durable node. The batch is safe
+		// to retry wholesale: re-sent duplicates are rejected benignly.
+		resp["error"] = "one or more partitions unreachable; retry the batch"
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+	case accepted == 0 && total > 0:
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+	default:
+		writeJSON(w, http.StatusAccepted, resp)
+	}
+}
+
 func (rt *Router) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	body, err := rt.readBody(w, r)
 	if err != nil {
@@ -528,79 +610,83 @@ func (rt *Router) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 		groups[part] = append(groups[part], raw)
 	}
 	parts := rt.ring.Partitions()
-	type batchLeg struct {
-		leg
-		records int
-		reply   nodeBatchReply
-		ok      bool
-	}
 	legs := make([]batchLeg, 0, len(parts))
 	for _, part := range parts {
-		if len(groups[part]) > 0 {
-			legs = append(legs, batchLeg{leg: leg{part: part}, records: len(groups[part])})
+		if len(groups[part]) == 0 {
+			continue
 		}
+		sub, err := json.Marshal(groups[part])
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "re-encoding batch: "+err.Error())
+			return
+		}
+		legs = append(legs, batchLeg{leg: leg{part: part}, sub: sub, records: len(groups[part])})
 	}
-	var wg sync.WaitGroup
-	for i := range legs {
-		wg.Add(1)
-		go func(bl *batchLeg) {
-			defer wg.Done()
-			sub, err := json.Marshal(groups[bl.part])
-			if err != nil {
-				bl.err = err
-				return
-			}
-			node, url := rt.target(bl.part)
-			bl.node = node
-			bl.code, bl.body, bl.err = rt.doHedged(r.Context(), http.MethodPost, url+"/v1/ingest/batch", sub, false)
-		}(&legs[i])
-	}
-	wg.Wait()
+	rt.forwardBatchLegs(w, r, "/v1/ingest/batch", contentTypeJSON, legs, rejected, len(raws))
+}
 
-	accepted, dropped := 0, 0
-	var errList []json.RawMessage
-	degraded := []string{}
-	for i := range legs {
-		bl := &legs[i]
-		if bl.failed() {
-			rt.degraded.With(bl.node).Inc()
-			degraded = append(degraded, bl.node)
-			dropped += bl.records
+// handleIngestBin splits a binary ingest batch by ring owner without
+// re-encoding: each accepted frame's raw bytes are sliced out of the
+// request body and concatenated into the owning partition's sub-batch
+// behind a fresh header, so the bytes a node receives — and appends to
+// its WAL — are exactly the bytes the client framed. Any framing
+// violation (bad header, length/count mismatch, short or corrupt frame)
+// fails the whole batch with a 400 before anything is forwarded: the
+// fixed-size frame invariant the nodes enforce cannot hold for a
+// partial split.
+func (rt *Router) handleIngestBin(w http.ResponseWriter, r *http.Request) {
+	body, err := rt.readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	count, rest, err := serve.ParseBinHeader(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if int64(count)*int64(serve.BinFrameSize) != int64(len(rest)) {
+		writeError(w, http.StatusBadRequest, "batch length does not match declared record count")
+		return
+	}
+	type binGroup struct {
+		n      int
+		frames []byte // raw frame bytes, client order preserved
+	}
+	groups := make(map[string]*binGroup)
+	for i := 0; i < count; i++ {
+		payload, next, err := trace.NextFrame(rest, serve.BinRecordSize)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("corrupt frame: record %d: %v", i, err))
+			return
+		}
+		if len(payload) != serve.BinRecordSize {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("corrupt frame: record %d: short payload", i))
+			return
+		}
+		frame := rest[:len(rest)-len(next)]
+		part := rt.ring.Owner(binary.LittleEndian.Uint32(payload))
+		g := groups[part]
+		if g == nil {
+			g = &binGroup{}
+			groups[part] = g
+		}
+		g.n++
+		g.frames = append(g.frames, frame...)
+		rest = next
+	}
+	parts := rt.ring.Partitions()
+	legs := make([]batchLeg, 0, len(parts))
+	for _, part := range parts {
+		g := groups[part]
+		if g == nil {
 			continue
 		}
-		if err := json.Unmarshal(bl.body, &bl.reply); err != nil {
-			degraded = append(degraded, bl.node)
-			dropped += bl.records
-			continue
-		}
-		bl.ok = true
-		accepted += bl.reply.Accepted
-		rejected += bl.reply.Rejected
-		dropped += bl.reply.Dropped
-		if len(errList) < 10 && len(bl.reply.Errors) > 0 && string(bl.reply.Errors) != "null" {
-			errList = append(errList, bl.reply.Errors)
-		}
+		sub := serve.AppendBinHeader(make([]byte, 0, serve.BinHeaderSize+len(g.frames)), g.n)
+		sub = append(sub, g.frames...)
+		legs = append(legs, batchLeg{leg: leg{part: part}, sub: sub, records: g.n})
 	}
-	sort.Strings(degraded)
-	resp := map[string]any{
-		"accepted": accepted,
-		"rejected": rejected,
-		"dropped":  dropped,
-		"errors":   errList,
-		"degraded": degraded,
-	}
-	switch {
-	case dropped > 0 || len(degraded) > 0:
-		// Some records did not reach a durable node. The batch is safe
-		// to retry wholesale: re-sent duplicates are rejected benignly.
-		resp["error"] = "one or more partitions unreachable; retry the batch"
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, resp)
-	case accepted == 0 && len(raws) > 0:
-		writeJSON(w, http.StatusUnprocessableEntity, resp)
-	default:
-		writeJSON(w, http.StatusAccepted, resp)
-	}
+	rt.forwardBatchLegs(w, r, "/v1/ingest/bin", contentTypeBinary, legs, 0, count)
 }
 
 // watchItem mirrors the node watchlist entry; the router re-ranks the
@@ -699,7 +785,7 @@ func (rt *Router) handleDrive(w http.ResponseWriter, r *http.Request) {
 	}
 	part := rt.ring.Owner(uint32(id64))
 	node, url := rt.target(part)
-	code, b, err := rt.doHedged(r.Context(), http.MethodGet, url+"/v1/drive/"+r.PathValue("id"), nil, true)
+	code, b, err := rt.doHedged(r.Context(), http.MethodGet, url+"/v1/drive/"+r.PathValue("id"), contentTypeJSON, nil, true)
 	if err != nil {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"error":    fmt.Sprintf("partition %s unreachable: %v", part, err),

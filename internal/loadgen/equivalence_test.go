@@ -1,0 +1,166 @@
+package loadgen
+
+// Wire-equivalence suite: the same schedule driven over the JSON wire
+// and the binary wire must leave the daemon in byte-identical state.
+// "Identical" is checked at three layers — the store's per-drive end
+// state, the raw WAL segment bytes (the binary path appends client
+// frames verbatim; the JSON path re-encodes, and the two must agree to
+// the byte), and the rendered watchlist — at two GOMAXPROCS settings,
+// since the scoring path parallelizes internally.
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"ssdfail/internal/core"
+	"ssdfail/internal/fleetsim"
+	"ssdfail/internal/ml/forest"
+	"ssdfail/internal/serve"
+	"ssdfail/internal/wal"
+)
+
+// fixModelPath is a small trained predictor on disk, built once for the
+// package: the equivalence runs boot real serve.Servers against it.
+var fixModelPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "ssdloadgen-test")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := fleetsim.DefaultConfig(7, 60)
+	cfg.HorizonDays = 400
+	cfg.EarlyWindow = 150
+	fleet, _, err := fleetsim.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fcfg := forest.DefaultConfig()
+	fcfg.Trees = 10
+	fcfg.Seed = 7
+	pred, err := core.NewStudy(fleet).TrainPredictor(core.PredictorOptions{
+		Lookahead: 3, Factory: forest.NewFactory(fcfg), Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixModelPath = filepath.Join(dir, "model.bin")
+	if err := pred.Save(fixModelPath); err != nil {
+		log.Fatal(err)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// wireEndState is everything the equivalence check compares after one
+// full replay of a schedule into a fresh WAL-backed daemon.
+type wireEndState struct {
+	drives    []serve.DriveSnapshot
+	wal       []byte
+	watchlist []byte
+}
+
+// replaySchedule drives every op of every stream, in order, directly
+// through the server's handler — sequential by construction, so the WAL
+// append order is the schedule order on both wires.
+func replaySchedule(t *testing.T, wire string) wireEndState {
+	t.Helper()
+	cfg := testConfig(77)
+	cfg.Wire = wire
+	sched, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	srv, err := serve.New(serve.Config{
+		ModelPath:       fixModelPath,
+		WALDir:          dir,
+		SnapshotEvery:   -1,            // keep every frame: the WAL bytes are the oracle
+		WALSyncEvery:    wal.SyncNever, // content, not durability, is under test
+		WALSyncInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+	for s := range sched.Streams {
+		for i := range sched.Streams[s].Ops {
+			op := &sched.Streams[s].Ops[i]
+			var rd *bytes.Reader
+			req := httptest.NewRequest(op.Kind.Method(), op.Path, nil)
+			if op.Body != nil {
+				rd = bytes.NewReader(op.Body)
+				req = httptest.NewRequest(op.Kind.Method(), op.Path, rd)
+				req.Header.Set("Content-Type", op.Kind.ContentType())
+			}
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			if op.Kind.ingest() && rr.Code != http.StatusAccepted {
+				t.Fatalf("%s wire: stream %d op %d: status %d: %s", wire, s, i, rr.Code, rr.Body.String())
+			}
+		}
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/watchlist?threshold=0&k=100000", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("%s wire: watchlist status %d", wire, rr.Code)
+	}
+	drives := srv.Store().Drives()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(segs)
+	var walBytes []byte
+	for _, seg := range segs {
+		b, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walBytes = append(walBytes, b...)
+	}
+	if len(walBytes) == 0 {
+		t.Fatalf("%s wire: no WAL bytes written", wire)
+	}
+	return wireEndState{drives: drives, wal: walBytes, watchlist: rr.Body.Bytes()}
+}
+
+func TestWireEquivalence(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+
+			js := replaySchedule(t, WireJSON)
+			bin := replaySchedule(t, WireBinary)
+
+			if len(js.drives) == 0 {
+				t.Fatal("JSON replay tracked no drives")
+			}
+			if !reflect.DeepEqual(js.drives, bin.drives) {
+				t.Error("per-drive end state differs between JSON and binary wires")
+			}
+			if !bytes.Equal(js.wal, bin.wal) {
+				t.Errorf("WAL contents differ: %d bytes via JSON, %d via binary",
+					len(js.wal), len(bin.wal))
+			}
+			if !bytes.Equal(js.watchlist, bin.watchlist) {
+				t.Errorf("watchlist output differs:\njson:   %s\nbinary: %s",
+					js.watchlist, bin.watchlist)
+			}
+		})
+	}
+}

@@ -17,6 +17,7 @@ type Report struct {
 	DrivesPerModel int    `json:"drives_per_model"`
 	Days           int32  `json:"days"`
 	BatchSize      int    `json:"batch_size"`
+	Wire           string `json:"wire"`
 	ScheduleSHA256 string `json:"schedule_sha256"`
 
 	ScheduledRequests int `json:"scheduled_requests"`
@@ -70,6 +71,7 @@ func NewReport(res *Result, violations []string, checked bool) *Report {
 		DrivesPerModel:    cfg.DrivesPerModel,
 		Days:              cfg.Days,
 		BatchSize:         cfg.BatchSize,
+		Wire:              cfg.Wire,
 		ScheduleSHA256:    res.Sched.Hash,
 		ScheduledRequests: res.Sched.TotalRequests,
 		ScheduledRecords:  res.Sched.TotalRecords,

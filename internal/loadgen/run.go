@@ -189,7 +189,7 @@ func (r *Runner) do(ctx context.Context, op *Op) (int, []byte, time.Duration, ti
 		return 0, nil, 0, 0, err
 	}
 	if op.Body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", op.Kind.ContentType())
 	}
 	start := time.Now()
 	resp, err := r.Client.Do(req)
@@ -267,7 +267,7 @@ func (r *Runner) execute(ctx context.Context, st *streamState, op *Op) {
 		code, body, dur, retryAfter, err := r.do(ctx, op)
 		st.record(op.Kind, code, dur)
 		if err != nil {
-			if r.RetryTransient && op.Kind == OpIngestBatch && attempt < retries {
+			if r.RetryTransient && op.Kind.ingest() && attempt < retries {
 				st.transientRetries++
 				if !sleepRetry(ctx, retryDelay(st.rng, attempt, 0)) {
 					st.dropped += uint64(op.Records)
@@ -281,7 +281,7 @@ func (r *Runner) execute(ctx context.Context, st *streamState, op *Op) {
 		shed := code == http.StatusTooManyRequests
 		transient := r.RetryTransient && (code == http.StatusBadGateway ||
 			code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout)
-		if (shed || transient) && op.Kind == OpIngestBatch && attempt < retries {
+		if (shed || transient) && op.Kind.ingest() && attempt < retries {
 			if shed {
 				st.shedRetries++
 			} else {
@@ -301,7 +301,7 @@ func (r *Runner) execute(ctx context.Context, st *streamState, op *Op) {
 // observe folds a final (non-retried) response into the stream state.
 func (r *Runner) observe(st *streamState, op *Op, code int, body []byte) {
 	switch op.Kind {
-	case OpIngestBatch:
+	case OpIngestBatch, OpIngestBin:
 		if code == http.StatusTooManyRequests {
 			st.dropped += uint64(op.Records)
 			return

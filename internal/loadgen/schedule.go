@@ -72,7 +72,19 @@ type Config struct {
 	// (correctly) rejects regressing days and model changes — so repeat
 	// runs against a long-lived daemon should each use a disjoint offset.
 	DriveIDOffset uint32
+	// Wire selects the ingest wire format: WireJSON (default) batches to
+	// POST /v1/ingest/batch, WireBinary frames the same records for
+	// POST /v1/ingest/bin. Everything else about the schedule — records,
+	// ordering, probes — is identical, so a JSON and a binary run drive
+	// the daemon into the same end state.
+	Wire string
 }
+
+// Wire formats for Config.Wire.
+const (
+	WireJSON   = "json"
+	WireBinary = "binary"
+)
 
 // DefaultConfig returns a schedule sized for a laptop-scale soak: a
 // 3-model fleet replayed over its final month.
@@ -126,6 +138,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.HorizonDays < 90 {
 		return c, fmt.Errorf("loadgen: horizon %d too short (fleetsim needs >= 90)", c.HorizonDays)
 	}
+	if c.Wire == "" {
+		c.Wire = WireJSON
+	}
+	if c.Wire != WireJSON && c.Wire != WireBinary {
+		return c, fmt.Errorf("loadgen: unknown wire format %q", c.Wire)
+	}
 	return c, nil
 }
 
@@ -142,21 +160,34 @@ const (
 	OpMetrics
 	OpReload
 	OpRemedyEvaluate
+	OpIngestBin // appended last: OpKind values feed the schedule hash
 )
 
-var opNames = [...]string{"ingest_batch", "watchlist", "drive", "model", "metrics", "model_reload", "remedy_evaluate"}
+var opNames = [...]string{"ingest_batch", "watchlist", "drive", "model", "metrics", "model_reload", "remedy_evaluate", "ingest_bin"}
 
 func (k OpKind) String() string { return opNames[k] }
 
 // Method returns the HTTP method for the op kind.
 func (k OpKind) Method() string {
 	switch k {
-	case OpIngestBatch, OpReload, OpRemedyEvaluate:
+	case OpIngestBatch, OpIngestBin, OpReload, OpRemedyEvaluate:
 		return "POST"
 	default:
 		return "GET"
 	}
 }
+
+// ContentType returns the body MIME type for ops that carry one.
+func (k OpKind) ContentType() string {
+	if k == OpIngestBin {
+		return "application/octet-stream"
+	}
+	return "application/json"
+}
+
+// ingest reports whether the op carries drive-day records, i.e. shares
+// the ingest retry and accounting semantics regardless of wire format.
+func (k OpKind) ingest() bool { return k == OpIngestBatch || k == OpIngestBin }
 
 // Op is one scheduled request: everything needed to fire it is
 // precomputed at build time, so the hot loop does no marshaling and no
@@ -287,23 +318,35 @@ func Build(cfg Config) (*Schedule, error) {
 			if end > len(recs) {
 				end = len(recs)
 			}
-			batch := make([]serve.IngestRecord, 0, end-off)
+			kind, path := OpIngestBatch, "/v1/ingest/batch"
+			var body []byte
+			if cfg.Wire == WireBinary {
+				kind, path = OpIngestBin, "/v1/ingest/bin"
+				body = serve.AppendBinHeader(nil, end-off)
+				for _, r := range recs[off:end] {
+					body = serve.AppendBinRecord(body, r.id, r.model, r.r)
+				}
+			} else {
+				batch := make([]serve.IngestRecord, 0, end-off)
+				for _, r := range recs[off:end] {
+					batch = append(batch, serve.WireRecord(r.id, r.model, r.r))
+				}
+				body, err = json.Marshal(batch)
+				if err != nil {
+					return nil, fmt.Errorf("loadgen: marshaling batch: %w", err)
+				}
+			}
 			for _, r := range recs[off:end] {
-				batch = append(batch, serve.WireRecord(r.id, r.model, r.r))
 				if !inSeen[r.id] {
 					inSeen[r.id] = true
 					seen = append(seen, r.id)
 				}
 			}
-			body, err := json.Marshal(batch)
-			if err != nil {
-				return nil, fmt.Errorf("loadgen: marshaling batch: %w", err)
-			}
 			ops = append(ops, Op{
-				Kind:    OpIngestBatch,
-				Path:    "/v1/ingest/batch",
+				Kind:    kind,
+				Path:    path,
 				Body:    body,
-				Records: len(batch),
+				Records: end - off,
 			})
 			batches++
 			if batches%cfg.ProbeEvery == 0 {

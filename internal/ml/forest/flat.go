@@ -1,0 +1,168 @@
+package forest
+
+import "fmt"
+
+// Flat is a forest repacked into contiguous per-field node arrays: one
+// struct-of-arrays pool holding every tree's nodes with child indices
+// rebased to absolute positions. Traversal touches four flat slices
+// instead of pointer-chasing per-tree node slices, and ScoreRows walks
+// feature-matrix blocks so the node arrays stay cache-hot across rows.
+// Scores are bit-identical to the pointer-walked Forest: per row, leaf
+// probabilities accumulate in tree index order and the sum is divided
+// by the tree count, exactly like Forest.Score.
+//
+// A Flat is immutable after Flatten and safe for concurrent use.
+type Flat struct {
+	width     int
+	roots     []int32
+	feature   []int32 // -1 for leaves
+	threshold []float64
+	left      []int32
+	right     []int32
+	prob      []float64
+}
+
+// Flatten repacks the trained forest. It re-validates the structural
+// invariants the tree decoder guarantees — child indices strictly
+// greater than their parent and inside the tree — so a Flat can never
+// loop or index out of its arrays even if handed a corrupt forest, and
+// an error here means the forest itself is malformed. A tree with no
+// nodes becomes a single 0.5 leaf, matching tree.Score on an empty
+// tree.
+func (f *Forest) Flatten() (*Flat, error) {
+	fl := &Flat{}
+	total := 0
+	for _, t := range f.trees {
+		n := t.NodeCount()
+		if n == 0 {
+			n = 1 // synthetic 0.5 leaf
+		}
+		total += n
+		if t.Width() > fl.width {
+			fl.width = t.Width()
+		}
+	}
+	fl.roots = make([]int32, 0, len(f.trees))
+	fl.feature = make([]int32, 0, total)
+	fl.threshold = make([]float64, 0, total)
+	fl.left = make([]int32, 0, total)
+	fl.right = make([]int32, 0, total)
+	fl.prob = make([]float64, 0, total)
+	base := int32(0)
+	for ti, t := range f.trees {
+		count := int32(t.NodeCount())
+		fl.roots = append(fl.roots, base)
+		if count == 0 {
+			fl.feature = append(fl.feature, -1)
+			fl.threshold = append(fl.threshold, 0)
+			fl.left = append(fl.left, 0)
+			fl.right = append(fl.right, 0)
+			fl.prob = append(fl.prob, 0.5)
+			base++
+			continue
+		}
+		for i := int32(0); i < count; i++ {
+			nv := t.Node(int(i))
+			l, r := int32(0), int32(0)
+			if nv.Feature >= 0 {
+				if int(nv.Feature) >= fl.width {
+					return nil, fmt.Errorf("forest: flatten: tree %d node %d feature %d outside width %d",
+						ti, i, nv.Feature, fl.width)
+				}
+				if nv.Left <= i || nv.Right <= i || nv.Left >= count || nv.Right >= count {
+					return nil, fmt.Errorf("forest: flatten: tree %d node %d has dangling or cyclic children", ti, i)
+				}
+				l, r = base+nv.Left, base+nv.Right
+			}
+			fl.feature = append(fl.feature, nv.Feature)
+			fl.threshold = append(fl.threshold, nv.Threshold)
+			fl.left = append(fl.left, l)
+			fl.right = append(fl.right, r)
+			fl.prob = append(fl.prob, nv.Prob)
+		}
+		base += count
+	}
+	return fl, nil
+}
+
+// Width returns the feature-vector width scoring requires; x (or the
+// matrix stride) must be at least this long.
+func (fl *Flat) Width() int { return fl.width }
+
+// NodeCount returns the total flattened node count across all trees.
+func (fl *Flat) NodeCount() int { return len(fl.feature) }
+
+// TreeCount returns the number of trees.
+func (fl *Flat) TreeCount() int { return len(fl.roots) }
+
+// Score scores one feature vector, bit-identical to Forest.Score.
+func (fl *Flat) Score(x []float64) float64 {
+	if len(fl.roots) == 0 {
+		return 0.5
+	}
+	var s float64
+	for _, root := range fl.roots {
+		ni := root
+		for {
+			f := fl.feature[ni]
+			if f < 0 {
+				s += fl.prob[ni]
+				break
+			}
+			if x[f] <= fl.threshold[ni] {
+				ni = fl.left[ni]
+			} else {
+				ni = fl.right[ni]
+			}
+		}
+	}
+	return s / float64(len(fl.roots))
+}
+
+// flatBlockRows is the row-block size of ScoreRows: small enough that a
+// block's feature rows fit in cache alongside the node arrays, large
+// enough to amortize the per-tree loop overhead.
+const flatBlockRows = 64
+
+// ScoreRows scores len(out) rows of the row-major matrix X with stride
+// w (which must be >= Width), writing out[i] for row X[i*w : i*w+w].
+// It allocates nothing and is bit-identical to calling Score per row:
+// within a block the tree loop is outermost, but each row still
+// accumulates its leaf probabilities in tree index order.
+func (fl *Flat) ScoreRows(X []float64, w int, out []float64) {
+	n := len(out)
+	if len(fl.roots) == 0 {
+		for i := range out {
+			out[i] = 0.5
+		}
+		return
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for lo := 0; lo < n; lo += flatBlockRows {
+		hi := min(lo+flatBlockRows, n)
+		for _, root := range fl.roots {
+			for i := lo; i < hi; i++ {
+				x := X[i*w : i*w+w]
+				ni := root
+				for {
+					f := fl.feature[ni]
+					if f < 0 {
+						out[i] += fl.prob[ni]
+						break
+					}
+					if x[f] <= fl.threshold[ni] {
+						ni = fl.left[ni]
+					} else {
+						ni = fl.right[ni]
+					}
+				}
+			}
+		}
+	}
+	nt := float64(len(fl.roots))
+	for i := range out {
+		out[i] /= nt
+	}
+}

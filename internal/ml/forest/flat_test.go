@@ -1,0 +1,149 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"ssdfail/internal/dataset"
+	"ssdfail/internal/ml/mltest"
+)
+
+func trainedForest(t *testing.T) (*Forest, *dataset.Matrix) {
+	t.Helper()
+	train := mltest.TwoBlobs(300, 3, 1)
+	f := New(Config{Trees: 24, MaxDepth: 10, MinLeaf: 2, Seed: 9})
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	return f, mltest.TwoBlobs(130, 3, 2)
+}
+
+// TestFlattenScoreGolden is the flat-vs-pointer golden: every row must
+// score bit-identically through Forest.Score, Flat.Score, and the
+// blocked Flat.ScoreRows — not merely close, since the serving path
+// swaps between them based on availability and any drift would make
+// watchlists depend on which path ran.
+func TestFlattenScoreGolden(t *testing.T) {
+	f, test := trainedForest(t)
+	fl, err := f.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.TreeCount() != f.TreeCount() {
+		t.Fatalf("TreeCount = %d, want %d", fl.TreeCount(), f.TreeCount())
+	}
+	if fl.NodeCount() == 0 {
+		t.Fatal("flattened forest has no nodes")
+	}
+	out := make([]float64, test.Len())
+	fl.ScoreRows(test.X, test.W(), out)
+	for i := 0; i < test.Len(); i++ {
+		want := f.Score(test.Row(i))
+		if got := fl.Score(test.Row(i)); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("row %d: Flat.Score = %v (%#x), Forest.Score = %v (%#x)",
+				i, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+		if math.Float64bits(out[i]) != math.Float64bits(want) {
+			t.Fatalf("row %d: ScoreRows = %v (%#x), Forest.Score = %v (%#x)",
+				i, out[i], math.Float64bits(out[i]), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestFlattenUntrainedForest(t *testing.T) {
+	fl, err := New(DefaultConfig()).Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, dataset.NumFeatures)
+	if s := fl.Score(x); s != 0.5 {
+		t.Errorf("untrained Flat.Score = %v, want 0.5", s)
+	}
+	out := make([]float64, 3)
+	fl.ScoreRows(make([]float64, 3*dataset.NumFeatures), dataset.NumFeatures, out)
+	for i, s := range out {
+		if s != 0.5 {
+			t.Errorf("untrained ScoreRows[%d] = %v, want 0.5", i, s)
+		}
+	}
+}
+
+// TestFlatScoreAllocs pins the zero-allocation contract of the flat
+// scoring hot path.
+func TestFlatScoreAllocs(t *testing.T) {
+	f, test := trainedForest(t)
+	fl, err := f.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := test.Row(0)
+	var sink float64
+	if a := testing.AllocsPerRun(200, func() { sink += fl.Score(row) }); a != 0 {
+		t.Errorf("Flat.Score: %.1f allocs/op, want 0", a)
+	}
+	out := make([]float64, test.Len())
+	if a := testing.AllocsPerRun(50, func() { fl.ScoreRows(test.X, test.W(), out) }); a != 0 {
+		t.Errorf("Flat.ScoreRows: %.1f allocs/op, want 0", a)
+	}
+	_ = sink
+}
+
+// FuzzFlatForestLoad holds the decoder/flattener pair to a joint
+// invariant: any byte string UnmarshalBinary accepts must also Flatten
+// — the tree decoder's structural validation (feature inside width,
+// children strictly below their parent and inside the tree) is exactly
+// what Flatten re-checks — and the flat form must score bit-identically
+// to the pointer walk. No input may panic, loop, or index out of range.
+func FuzzFlatForestLoad(f *testing.F) {
+	train := mltest.TwoBlobs(120, 3, 1)
+	small := New(Config{Trees: 3, MaxDepth: 4, MinLeaf: 2, Seed: 2})
+	if err := small.Fit(train); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := small.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	for _, i := range []int{0, 8, len(seed) / 3, len(seed) - 1} {
+		mut := append([]byte(nil), seed...)
+		mut[i] ^= 0x40
+		f.Add(mut)
+	}
+	empty, err := New(DefaultConfig()).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var forest Forest
+		if err := forest.UnmarshalBinary(data); err != nil {
+			return
+		}
+		fl, err := forest.Flatten()
+		if err != nil {
+			t.Fatalf("decode accepted but Flatten rejected: %v", err)
+		}
+		width := fl.Width()
+		if width > 1<<12 {
+			// Structurally valid but absurdly wide; scoring it proves
+			// nothing beyond what a capped width already covers.
+			return
+		}
+		x := make([]float64, width)
+		for i := range x {
+			x[i] = float64(i%7)*0.37 - 1
+		}
+		want := forest.Score(x)
+		if got := fl.Score(x); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Flat.Score = %v, Forest.Score = %v", got, want)
+		}
+		out := make([]float64, 1)
+		fl.ScoreRows(x, width, out)
+		if width > 0 && math.Float64bits(out[0]) != math.Float64bits(want) {
+			t.Fatalf("ScoreRows = %v, Forest.Score = %v", out[0], want)
+		}
+	})
+}

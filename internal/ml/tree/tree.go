@@ -268,6 +268,24 @@ func (t *Tree) Importance() []float64 {
 // NodeCount returns the number of nodes in the trained tree.
 func (t *Tree) NodeCount() int { return len(t.nodes) }
 
+// NodeView is a read-only copy of one tree node, exposed for flatteners
+// that repack trees into contiguous arrays (forest.Flat). Node indices
+// are in append order: a split node's children always have indices
+// strictly greater than their parent's, with node 0 the root.
+type NodeView struct {
+	Feature     int32 // -1 for leaves
+	Threshold   float64
+	Left, Right int32 // meaningful only when Feature >= 0
+	Prob        float64
+}
+
+// Node returns the i-th node.
+func (t *Tree) Node(i int) NodeView {
+	n := &t.nodes[i]
+	return NodeView{Feature: n.feature, Threshold: n.threshold,
+		Left: n.left, Right: n.right, Prob: n.prob}
+}
+
 // Width returns the feature-vector width the tree was trained (or
 // deserialized) with, or 0 for an untrained tree. Score must be called
 // with vectors at least this long.

@@ -1,0 +1,324 @@
+package serve
+
+// Binary batch ingest: POST /v1/ingest/bin.
+//
+// The body is a 12-byte batch header followed by one trace frame per
+// record:
+//
+//	"SSDB" | version u32 LE (=1) | count u32 LE
+//	count × ( len u32 LE | crc32c u32 LE | WAL record payload )
+//
+// Each frame payload is exactly the record's canonical WAL encoding
+// (appendWALRecordBinary), and the frame header is exactly the WAL's
+// frame header, so an accepted payload is appended to the journal
+// verbatim — decode validates, nothing re-encodes. The steady-state
+// path allocates nothing: the body, the rejection list, and the
+// response are pooled, and errors on the hot path are sentinels.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"ssdfail/internal/trace"
+)
+
+const (
+	binIngestMagic   = "SSDB"
+	binIngestVersion = 1
+
+	// BinHeaderSize is the byte length of the batch header.
+	BinHeaderSize = 12
+	// BinRecordSize is the payload length of one record frame — exactly
+	// the WAL record the daemon appends on accept.
+	BinRecordSize = walRecordBinarySize
+	// BinFrameSize is the on-wire cost of one record including its frame
+	// header. Every frame in a batch has exactly this size.
+	BinFrameSize = trace.FrameOverhead + BinRecordSize
+)
+
+// AppendBinHeader appends the /v1/ingest/bin batch header for count
+// records.
+func AppendBinHeader(dst []byte, count int) []byte {
+	dst = append(dst, binIngestMagic...)
+	dst = binary.LittleEndian.AppendUint32(dst, binIngestVersion)
+	return binary.LittleEndian.AppendUint32(dst, uint32(count))
+}
+
+// AppendBinRecord appends one framed record to a /v1/ingest/bin body.
+func AppendBinRecord(dst []byte, id uint32, model trace.Model, rec *trace.DayRecord) []byte {
+	start := len(dst)
+	dst = trace.BeginFrame(dst)
+	dst = appendWALRecordBinary(dst, id, model, rec)
+	return trace.EndFrame(dst, start)
+}
+
+// ParseBinHeader validates a batch header and returns the declared
+// record count and the frame bytes that follow.
+func ParseBinHeader(b []byte) (count int, rest []byte, err error) {
+	if len(b) < BinHeaderSize {
+		return 0, nil, fmt.Errorf("serve: binary batch header truncated: %d of %d bytes", len(b), BinHeaderSize)
+	}
+	if string(b[:4]) != binIngestMagic {
+		return 0, nil, errors.New("serve: not a binary ingest batch (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != binIngestVersion {
+		return 0, nil, fmt.Errorf("serve: unsupported binary ingest version %d", v)
+	}
+	return int(binary.LittleEndian.Uint32(b[8:])), b[BinHeaderSize:], nil
+}
+
+// binState is the pooled per-request scratch for the binary ingest
+// path: the body buffer, the capped rejection list, and the response
+// bytes. Ownership rule: a binState (and every slice it holds) belongs
+// to exactly one request between Get and Put; nothing that escapes the
+// handler — store records, WAL buffers, response writers — may retain a
+// reference into it.
+type binState struct {
+	body []byte
+	resp []byte
+	errs []batchError
+}
+
+// binResult is what processing one binary batch produced. topErr is the
+// top-level "error" field for non-2xx shapes; empty on 202/422.
+type binResult struct {
+	accepted int
+	rejected int
+	dropped  int
+	code     int
+	topErr   string
+}
+
+func (s *Server) handleIngestBin(w http.ResponseWriter, r *http.Request) {
+	if !s.acquire(w, "ingest_bin", s.ingestSem) {
+		return
+	}
+	defer func() { <-s.ingestSem }()
+	st := s.binStates.Get().(*binState)
+	defer s.binStates.Put(st)
+	body, code, err := s.readBinBody(r, st)
+	if err != nil {
+		writeError(w, code, err.Error())
+		return
+	}
+	res := s.processBinBatch(r.Context(), body, st)
+	st.renderBinReply(res)
+	h := w.Header()
+	if _, ok := h["Content-Type"]; !ok {
+		h.Set("Content-Type", "application/json")
+	}
+	w.WriteHeader(res.code)
+	//ssdlint:allow droppederr response write failed means the client hung up; the records are already applied
+	w.Write(st.resp)
+}
+
+// readBinBody reads the request body into the pooled buffer. Bodies
+// with a declared length read straight into place without allocating;
+// chunked bodies fall back to a capped copy.
+func (s *Server) readBinBody(r *http.Request, st *binState) ([]byte, int, error) {
+	if r.ContentLength > s.cfg.MaxBodyBytes {
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body exceeds %d bytes", s.cfg.MaxBodyBytes)
+	}
+	if n := r.ContentLength; n >= 0 {
+		if int64(cap(st.body)) < n {
+			st.body = make([]byte, n)
+		}
+		st.body = st.body[:n]
+		if _, err := io.ReadFull(r.Body, st.body); err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("reading body: %v", err)
+		}
+		return st.body, 0, nil
+	}
+	// Unknown length (chunked). Rare; allocation here is fine.
+	b, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("reading body: %v", err)
+	}
+	if int64(len(b)) > s.cfg.MaxBodyBytes {
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body exceeds %d bytes", s.cfg.MaxBodyBytes)
+	}
+	st.body = append(st.body[:0], b...)
+	return st.body, 0, nil
+}
+
+// processBinBatch decodes, validates, and applies one binary batch.
+// Accepted frame payloads are journaled verbatim. Mirrors the JSON
+// batch semantics: per-record rejections continue, a mid-batch deadline
+// or WAL failure stops with exact accounting, and records already
+// applied stay applied.
+func (s *Server) processBinBatch(ctx context.Context, body []byte, st *binState) binResult {
+	st.errs = st.errs[:0]
+	res := binResult{code: http.StatusAccepted}
+	count, rest, err := ParseBinHeader(body)
+	if err != nil {
+		return binResult{code: http.StatusBadRequest, topErr: err.Error()}
+	}
+	// Every frame has a fixed stride, so the declared count must match
+	// the body length exactly; this rejects length-prefix overflow and
+	// truncation up front, before any record is applied.
+	if int64(count)*int64(BinFrameSize) != int64(len(rest)) {
+		return binResult{code: http.StatusBadRequest,
+			topErr: "batch length does not match declared record count"}
+	}
+	for i := 0; i < count; i++ {
+		// A large batch can outlive the request deadline; stop cleanly
+		// with an exact accepted count rather than churn for a client
+		// that already gave up.
+		if i&127 == 0 && ctx.Err() != nil {
+			res.code = http.StatusServiceUnavailable
+			res.topErr = "request deadline exceeded mid-batch"
+			res.dropped = count - i
+			return res
+		}
+		payload, next, ferr := trace.NextFrame(rest, BinRecordSize)
+		if ferr != nil {
+			// Frame corruption is a transport-level failure, not a bad
+			// record: everything before this frame is applied, the rest of
+			// the body cannot be trusted.
+			res.code = http.StatusBadRequest
+			res.topErr = "corrupt frame: " + ferr.Error()
+			res.dropped = count - i
+			return res
+		}
+		rest = next
+		if len(payload) != BinRecordSize || payload[BinRecordSize-1]&^3 != 0 {
+			// A short-but-valid frame or non-canonical flag bits would
+			// journal bytes that differ from the canonical encoding of the
+			// record they decode to; reject so WAL contents stay identical
+			// across wire formats.
+			res.rejected++
+			s.ingestRejected.With("invalid_record").Inc()
+			if len(st.errs) < 10 {
+				st.errs = append(st.errs, batchError{
+					Index: i, Error: "serve: malformed record payload"})
+			}
+			continue
+		}
+		id, model, rec, derr := decodeWALRecordBinary(payload)
+		if derr == nil {
+			derr = validateDayRecord(&rec)
+		}
+		if derr != nil {
+			res.rejected++
+			s.ingestRejected.With("invalid_record").Inc()
+			if len(st.errs) < 10 {
+				st.errs = append(st.errs, batchError{
+					Index: i, DriveID: binary.LittleEndian.Uint32(payload), Error: derr.Error()})
+			}
+			continue
+		}
+		var uerr error
+		if s.journal != nil {
+			uerr = s.journal.UpsertPayload(id, model, rec, payload)
+		} else {
+			uerr = s.store.Upsert(id, model, rec)
+		}
+		if uerr != nil {
+			if errors.Is(uerr, ErrJournal) {
+				// The WAL is failing; every further append would too.
+				s.ingestRejected.With("wal_error").Inc()
+				res.code = http.StatusServiceUnavailable
+				res.topErr = uerr.Error()
+				res.dropped = count - i
+				return res
+			}
+			res.rejected++
+			s.ingestRejected.With("store_conflict").Inc()
+			if len(st.errs) < 10 {
+				st.errs = append(st.errs, batchError{Index: i, DriveID: id, Error: uerr.Error()})
+			}
+			continue
+		}
+		s.ingested.Inc()
+		res.accepted++
+	}
+	if len(rest) != 0 {
+		// Unreachable given the fixed-stride length check, but a format
+		// change that forgot it must not silently ignore bytes.
+		res.code = http.StatusBadRequest
+		res.topErr = "trailing bytes after last frame"
+		return res
+	}
+	if res.accepted == 0 && count > 0 && res.code == http.StatusAccepted {
+		res.code = http.StatusUnprocessableEntity
+	}
+	return res
+}
+
+// renderBinReply builds the JSON response into st.resp without an
+// encoder: the shapes mirror handleIngestBatch's writeJSON maps, but a
+// steady-state 202 must not allocate.
+func (st *binState) renderBinReply(res binResult) {
+	buf := st.resp[:0]
+	buf = append(buf, '{')
+	if res.topErr != "" {
+		buf = append(buf, `"error":`...)
+		buf = appendJSONString(buf, res.topErr)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, `"accepted":`...)
+	buf = strconv.AppendInt(buf, int64(res.accepted), 10)
+	buf = append(buf, `,"rejected":`...)
+	buf = strconv.AppendInt(buf, int64(res.rejected), 10)
+	if res.topErr != "" {
+		buf = append(buf, `,"dropped":`...)
+		buf = strconv.AppendInt(buf, int64(res.dropped), 10)
+	}
+	buf = append(buf, `,"errors":`...)
+	if len(st.errs) == 0 {
+		buf = append(buf, `null`...)
+	} else {
+		buf = append(buf, '[')
+		for i := range st.errs {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			e := &st.errs[i]
+			buf = append(buf, `{"index":`...)
+			buf = strconv.AppendInt(buf, int64(e.Index), 10)
+			buf = append(buf, `,"drive_id":`...)
+			buf = strconv.AppendUint(buf, uint64(e.DriveID), 10)
+			buf = append(buf, `,"error":`...)
+			buf = appendJSONString(buf, e.Error)
+			buf = append(buf, '}')
+		}
+		buf = append(buf, ']')
+	}
+	buf = append(buf, '}', '\n')
+	st.resp = buf
+}
+
+// appendJSONString appends s as a JSON string literal. Unlike
+// strconv.AppendQuote (Go escaping, not JSON) it emits only escapes
+// JSON accepts.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c >= 0x20:
+			buf = append(buf, c)
+		default:
+			const hex = "0123456789abcdef"
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xF])
+		}
+	}
+	return append(buf, '"')
+}
+
+// binStatePool builds the server's binState pool.
+func binStatePool() sync.Pool {
+	return sync.Pool{New: func() any {
+		return &binState{errs: make([]batchError, 0, 10)}
+	}}
+}

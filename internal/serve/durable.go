@@ -217,14 +217,24 @@ func (j *Journal) StreamFrom(from uint64, fn func(lsn uint64, payload []byte) er
 func (j *Journal) Upsert(id uint32, model trace.Model, rec trace.DayRecord) error {
 	bufp := j.bufs.Get().(*[]byte)
 	payload := appendWALRecordBinary((*bufp)[:0], id, model, &rec)
+	err := j.UpsertPayload(id, model, rec, payload)
+	*bufp = payload[:0]
+	j.bufs.Put(bufp)
+	return err
+}
+
+// UpsertPayload is Upsert for callers that already hold the record's
+// canonical WAL encoding — the binary ingest path, whose accepted frame
+// payloads are appended to the log verbatim. payload must equal
+// appendWALRecordBinary(nil, id, model, &rec); it is not retained after
+// the call returns. The fast path allocates nothing.
+func (j *Journal) UpsertPayload(id uint32, model trace.Model, rec trace.DayRecord, payload []byte) error {
 	err := j.store.UpsertCommit(id, model, rec, func() error {
 		if _, werr := j.log.Append(payload); werr != nil {
 			return fmt.Errorf("%w: %w", ErrJournal, werr)
 		}
 		return nil
 	})
-	*bufp = payload[:0]
-	j.bufs.Put(bufp)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"ssdfail/internal/faultfs"
@@ -123,6 +124,8 @@ type Server struct {
 	ingestSem chan struct{}
 	scoreSem  chan struct{}
 
+	binStates sync.Pool // *binState scratch for /v1/ingest/bin
+
 	reqs           *CounterVec
 	reqDur         *Histogram
 	ingested       *Counter
@@ -176,6 +179,7 @@ func New(cfg Config) (*Server, error) {
 		start:     clock(),
 		ingestSem: make(chan struct{}, cfg.MaxInflightIngest),
 		scoreSem:  make(chan struct{}, cfg.MaxInflightScores),
+		binStates: binStatePool(),
 	}
 	if err := s.loadModelWithRetry(); err != nil {
 		return nil, err
@@ -376,6 +380,7 @@ func (s *Server) Handler() http.Handler {
 	}
 	route("POST /v1/ingest", "ingest", s.handleIngest)
 	route("POST /v1/ingest/batch", "ingest_batch", s.handleIngestBatch)
+	route("POST /v1/ingest/bin", "ingest_bin", s.handleIngestBin)
 	route("GET /v1/watchlist", "watchlist", s.handleWatchlist)
 	route("GET /v1/drive/{id}", "drive", s.handleDrive)
 	route("GET /v1/model", "model", s.handleModel)

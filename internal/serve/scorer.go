@@ -20,11 +20,13 @@ type Scored struct {
 }
 
 // Scorer scores fleet snapshots across a fixed number of workers using
-// the repo's chunked parallel-for. Feature-row scratch matrices are
-// pooled so a full-fleet pass allocates per worker, not per drive.
+// the repo's chunked parallel-for. Units are featurized into pooled
+// per-block matrices and scored through the predictor's matrix path
+// (flattened forest traversal over feature blocks), so a full-fleet
+// pass allocates per block-in-flight, not per drive.
 type Scorer struct {
 	workers int
-	scratch sync.Pool // *dataset.Matrix
+	scratch sync.Pool // *scoreScratch
 
 	// observe, when set (tests only, same package), is called for every
 	// unit scored with the predictor actually used. The hot-swap
@@ -34,10 +36,23 @@ type Scorer struct {
 	observe func(p *core.Predictor, unit int)
 }
 
+// scoreScratch is the pooled per-block working set: one feature matrix
+// holding up to scoreBlockRows rows and the score vector it fills.
+type scoreScratch struct {
+	m   dataset.Matrix
+	out []float64
+}
+
+// scoreBlockRows is how many drives one worker featurizes and scores at
+// a time. Big enough that the flattened forest amortizes its per-tree
+// loop across a cache-resident block, small enough to keep every worker
+// busy on mid-sized fleets.
+const scoreBlockRows = 256
+
 // NewScorer builds a scorer with the given worker count (<= 0 means all
 // CPUs, resolved at score time by internal/parallel).
 func NewScorer(workers int) *Scorer {
-	return &Scorer{scratch: sync.Pool{New: func() any { return &dataset.Matrix{} }}, workers: workers}
+	return &Scorer{scratch: sync.Pool{New: func() any { return &scoreScratch{} }}, workers: workers}
 }
 
 // Workers returns the configured worker count (0 = all CPUs).
@@ -48,19 +63,33 @@ func (sc *Scorer) Workers() int { return sc.workers }
 // count.
 func (sc *Scorer) Score(p *core.Predictor, units []ScoreUnit) []Scored {
 	out := make([]Scored, len(units))
-	parallel.For(sc.workers, len(units), func(i int) {
-		u := &units[i]
-		m := sc.scratch.Get().(*dataset.Matrix)
-		var prev *trace.DayRecord
-		if u.HasPrev {
-			prev = &u.Prev
+	blocks := (len(units) + scoreBlockRows - 1) / scoreBlockRows
+	parallel.For(sc.workers, blocks, func(bi int) {
+		lo := bi * scoreBlockRows
+		hi := min(lo+scoreBlockRows, len(units))
+		s := sc.scratch.Get().(*scoreScratch)
+		s.m.Reset()
+		for i := lo; i < hi; i++ {
+			u := &units[i]
+			var prev *trace.DayRecord
+			if u.HasPrev {
+				prev = &u.Prev
+			}
+			s.m.AppendFeatureRow(&u.Last, prev)
 		}
-		score := p.ScoreInto(m, &u.Last, prev)
-		sc.scratch.Put(m)
-		if sc.observe != nil {
-			sc.observe(p, i)
+		if cap(s.out) < hi-lo {
+			s.out = make([]float64, hi-lo)
 		}
-		out[i] = Scored{ID: u.ID, Model: u.Model, Score: score, Day: u.Last.Day, Age: u.Last.Age}
+		s.out = s.out[:hi-lo]
+		p.ScoreMatrix(&s.m, s.out)
+		for i := lo; i < hi; i++ {
+			u := &units[i]
+			if sc.observe != nil {
+				sc.observe(p, i)
+			}
+			out[i] = Scored{ID: u.ID, Model: u.Model, Score: s.out[i-lo], Day: u.Last.Day, Age: u.Last.Age}
+		}
+		sc.scratch.Put(s)
 	})
 	return out
 }

@@ -49,15 +49,6 @@ func (ir *IngestRecord) ToRecord() (trace.Model, trace.DayRecord, error) {
 	if err != nil {
 		return 0, trace.DayRecord{}, err
 	}
-	if ir.Day < 0 {
-		return 0, trace.DayRecord{}, fmt.Errorf("serve: negative day %d", ir.Day)
-	}
-	if ir.Age < 0 {
-		return 0, trace.DayRecord{}, fmt.Errorf("serve: negative age %d", ir.Age)
-	}
-	if math.IsNaN(ir.PECycles) || math.IsInf(ir.PECycles, 0) || ir.PECycles < 0 {
-		return 0, trace.DayRecord{}, fmt.Errorf("serve: invalid pe_cycles %v", ir.PECycles)
-	}
 	rec := trace.DayRecord{
 		Day: ir.Day, Age: ir.Age,
 		Reads: ir.Reads, Writes: ir.Writes, Erases: ir.Erases,
@@ -81,14 +72,34 @@ func (ir *IngestRecord) ToRecord() (trace.Model, trace.DayRecord, error) {
 		}
 		rec.CumErrors[k] = v
 	}
+	if err := validateDayRecord(&rec); err != nil {
+		return 0, trace.DayRecord{}, err
+	}
+	return model, rec, nil
+}
+
+// validateDayRecord enforces the per-record invariants shared by the
+// JSON and binary ingest paths: non-negative day and age, finite
+// non-negative P/E cycles, and daily error counts that do not exceed
+// their cumulative counterparts. It never allocates on success.
+func validateDayRecord(rec *trace.DayRecord) error {
+	if rec.Day < 0 {
+		return fmt.Errorf("serve: negative day %d", rec.Day)
+	}
+	if rec.Age < 0 {
+		return fmt.Errorf("serve: negative age %d", rec.Age)
+	}
+	if math.IsNaN(rec.PECycles) || math.IsInf(rec.PECycles, 0) || rec.PECycles < 0 {
+		return fmt.Errorf("serve: invalid pe_cycles %v", rec.PECycles)
+	}
 	for k := 0; k < trace.NumErrorKinds; k++ {
 		if uint64(rec.Errors[k]) > rec.CumErrors[k] {
-			return 0, trace.DayRecord{}, fmt.Errorf(
+			return fmt.Errorf(
 				"serve: daily %s count %d exceeds cumulative %d",
 				trace.ErrorKind(k), rec.Errors[k], rec.CumErrors[k])
 		}
 	}
-	return model, rec, nil
+	return nil
 }
 
 // Binary record codec for the WAL and snapshots. One day record is a

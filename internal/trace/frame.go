@@ -1,0 +1,91 @@
+package trace
+
+// Length-prefixed frame codec shared by every binary surface that moves
+// records: the WAL's on-disk segments, the follower replication stream,
+// and the /v1/ingest/bin wire format. A frame is
+//
+//	len u32 LE | crc32c u32 LE | payload (len bytes)
+//
+// — byte-for-byte the WAL's frame layout, with the CRC computed over the
+// payload using the Castagnoli polynomial. Sharing the layout is a load-
+// bearing contract, not a convenience: an ingest frame that passes
+// NextFrame carries exactly the bytes the daemon appends to its WAL, so
+// the accept path never re-encodes a record.
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// FrameOverhead is the byte cost of one frame header (length + CRC).
+const FrameOverhead = 8
+
+var frameTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame decode failures are static sentinels so hot-path callers can
+// classify them without allocating.
+var (
+	ErrFrameTruncated = errors.New("trace: frame truncated")
+	ErrFrameEmpty     = errors.New("trace: zero-length frame")
+	ErrFrameTooLarge  = errors.New("trace: frame exceeds payload limit")
+	ErrFrameCRC       = errors.New("trace: frame CRC mismatch")
+)
+
+// FrameCRC returns the checksum stored in a frame header for payload.
+func FrameCRC(payload []byte) uint32 {
+	return crc32.Checksum(payload, frameTable)
+}
+
+// AppendFrame appends one complete frame wrapping payload.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, FrameCRC(payload))
+	return append(dst, payload...)
+}
+
+// BeginFrame reserves a frame header at the end of dst and returns the
+// extended slice; the caller appends the payload in place and seals it
+// with EndFrame(dst, start) where start = len(dst) before BeginFrame.
+// The pair lets encoders build framed records without an intermediate
+// payload buffer.
+func BeginFrame(dst []byte) []byte {
+	return append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+}
+
+// EndFrame back-fills the header reserved by BeginFrame at start, using
+// everything appended since as the payload.
+func EndFrame(dst []byte, start int) []byte {
+	payload := dst[start+FrameOverhead:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], FrameCRC(payload))
+	return dst
+}
+
+// NextFrame decodes the frame at the front of b, returning its payload
+// (aliasing b, not copied) and the remainder. maxPayload bounds the
+// declared length before any allocation or checksum work, so a corrupt
+// length prefix cannot drive a huge read. Errors are the ErrFrame*
+// sentinels; payload and rest are nil on error.
+func NextFrame(b []byte, maxPayload int) (payload, rest []byte, err error) {
+	if len(b) < FrameOverhead {
+		return nil, nil, ErrFrameTruncated
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n == 0 {
+		return nil, nil, ErrFrameEmpty
+	}
+	if uint64(n) > uint64(maxPayload) {
+		return nil, nil, ErrFrameTooLarge
+	}
+	want := binary.LittleEndian.Uint32(b[4:])
+	body := b[FrameOverhead:]
+	if uint64(len(body)) < uint64(n) {
+		return nil, nil, ErrFrameTruncated
+	}
+	payload = body[:n]
+	if FrameCRC(payload) != want {
+		return nil, nil, ErrFrameCRC
+	}
+	return payload, body[n:], nil
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("a"),
+		[]byte("hello frame"),
+		bytes.Repeat([]byte{0xAB}, 1024),
+	}
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendFrame(buf, p)
+	}
+	rest := buf
+	for i, want := range payloads {
+		payload, next, err := NextFrame(rest, 4096)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+		rest = next
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestBeginEndFrameMatchesAppendFrame(t *testing.T) {
+	payload := []byte("in-place encoded payload")
+	want := AppendFrame(nil, payload)
+
+	got := []byte("prefix")
+	start := len(got)
+	got = BeginFrame(got)
+	got = append(got, payload...)
+	got = EndFrame(got, start)
+	if !bytes.Equal(got[start:], want) {
+		t.Fatalf("BeginFrame/EndFrame = %x, want %x", got[start:], want)
+	}
+}
+
+func TestNextFrameRejectsCorruption(t *testing.T) {
+	valid := AppendFrame(nil, []byte("payload"))
+
+	for cut := 0; cut < len(valid); cut++ {
+		if _, _, err := NextFrame(valid[:cut], 64); !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("truncation at %d: err = %v, want ErrFrameTruncated", cut, err)
+		}
+	}
+
+	for bit := 0; bit < len(valid)*8; bit += 7 {
+		flipped := bytes.Clone(valid)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		if _, _, err := NextFrame(flipped, 64); err == nil {
+			// A length-field flip that still fits maxPayload shrinks the
+			// payload, which the CRC must then catch — no flip may pass.
+			t.Fatalf("bit flip at %d accepted", bit)
+		}
+	}
+
+	zero := AppendFrame(nil, nil)
+	if _, _, err := NextFrame(zero, 64); !errors.Is(err, ErrFrameEmpty) {
+		t.Fatalf("zero-length frame: err = %v, want ErrFrameEmpty", err)
+	}
+
+	huge := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(huge, 0xFFFFFFFF)
+	if _, _, err := NextFrame(huge, 64); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized length prefix: err = %v, want ErrFrameTooLarge", err)
+	}
+	// The limit check must happen on the declared length, not a
+	// truncated int conversion of it: with a limit above u32 range the
+	// huge prefix is admissible but the body is short.
+	if _, _, err := NextFrame(huge, 1<<33); !errors.Is(err, ErrFrameTruncated) {
+		t.Fatalf("oversized-but-allowed length: err = %v, want ErrFrameTruncated", err)
+	}
+}
+
+func TestFrameLayoutMatchesWAL(t *testing.T) {
+	// The WAL writes len | crc32c(payload) | payload little-endian; the
+	// shared codec must produce exactly those bytes so ingest frames can
+	// be appended to the log verbatim.
+	payload := []byte{1, 2, 3, 4, 5}
+	frame := AppendFrame(nil, payload)
+	if got := binary.LittleEndian.Uint32(frame); got != uint32(len(payload)) {
+		t.Fatalf("length field = %d, want %d", got, len(payload))
+	}
+	if got := binary.LittleEndian.Uint32(frame[4:]); got != FrameCRC(payload) {
+		t.Fatalf("crc field = %#x, want %#x", got, FrameCRC(payload))
+	}
+	if !bytes.Equal(frame[8:], payload) {
+		t.Fatal("payload bytes not verbatim")
+	}
+}
