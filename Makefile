@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt vet baseline remedy-scenarios cluster-chaos
+.PHONY: all build test race lint fmt vet baseline remedy-scenarios cluster-chaos train-loop
 
 all: build lint test
 
@@ -45,6 +45,17 @@ remedy-scenarios:
 cluster-chaos:
 	SSDFAIL_CLUSTER_REPORT=$(CURDIR)/BENCH_cluster.json \
 		$(GO) test -race -count=1 -run 'TestClusterChaos|TestReadinessGate|TestRouter|TestFollower' ./internal/cluster/
+
+# The continuous-learning drill: ssdload drives a live ssdserved with a
+# drifting fleet, the WAL-tailing trainer detects the shift, retrains,
+# and promotes through POST /v1/model/reload; a crippled challenger is
+# then rejected. Runs under -race at two GOMAXPROCS settings (the
+# decision log and retrained models must be byte-identical), diffs the
+# committed golden, and writes BENCH_learn.json.
+train-loop:
+	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/learn/
+	SSDFAIL_LEARN_REPORT=$(CURDIR)/BENCH_learn.json \
+		GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/learn/
 
 fmt:
 	gofmt -l -w .

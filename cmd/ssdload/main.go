@@ -60,6 +60,15 @@ func run() int {
 		wire    = flag.String("wire", "json", "ingest wire format: json (POST /v1/ingest/batch) or binary (POST /v1/ingest/bin)")
 		remedy  = flag.Int("remedy-every", 0,
 			"interleave one remediation evaluation (POST /v1/remedy/evaluate) every N batches on stream 0 (0 = none)")
+		driftMult = flag.Float64("drift-mult", 0,
+			"inject a mid-run distribution shift: a second fleet cohort at this write-scale multiple (0 = off)")
+		driftAfter = flag.Float64("drift-after", 0.5,
+			"fraction of the replay window after which the drift cohort comes online")
+		driftDrives = flag.Int("drift-drives", 0,
+			"drift cohort drives per model (0 = same as -drives)")
+		hazardMult = flag.Float64("hazard-mult", 0,
+			"scale fleet failure hazards so short replay windows carry labeled failures (0 = calibrated rates)")
+
 		offset = flag.Uint("drive-offset", 0,
 			"shift replayed drive IDs; use a fresh offset per run against a long-lived daemon")
 
@@ -86,6 +95,11 @@ func run() int {
 		RemedyEvery:    *remedy,
 		DriveIDOffset:  uint32(*offset),
 		Wire:           *wire,
+
+		DriftWriteMult:      *driftMult,
+		DriftAfterFrac:      *driftAfter,
+		DriftDrivesPerModel: *driftDrives,
+		HazardMult:          *hazardMult,
 	}
 	sched, err := loadgen.Build(cfg)
 	if err != nil {

@@ -108,6 +108,24 @@ func (f *Follower) Run(ctx context.Context) error {
 	}
 }
 
+// PullOnce issues a single catch-up pull and applies its frames,
+// reporting whether the cursor advanced. It is the step-wise form of
+// Run, for callers that interleave tailing with their own work between
+// pulls — the continuous-learning trainer pulls a batch, runs drift
+// checks over the applied records, and only then pulls again — while
+// reusing the same frame verification (CRC via ParseStreamFrame, LSN
+// continuity) as the run loop. A nil Client is populated with the run
+// loop's default on first use; PullOnce is not safe to use concurrently
+// with Run.
+func (f *Follower) PullOnce(ctx context.Context) (bool, error) {
+	if f.Client == nil {
+		f.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	progressed, err := f.pullOnce(ctx, f.Client)
+	f.setErr(err)
+	return progressed, err
+}
+
 // pullOnce issues one catch-up request and applies its frames,
 // reporting whether the cursor advanced.
 func (f *Follower) pullOnce(ctx context.Context, client *http.Client) (bool, error) {

@@ -277,17 +277,20 @@ func (p *Predictor) ScoreDrive(d *trace.Drive) float64 {
 	return p.ScoreRecord(&d.Days[n-1], prev)
 }
 
-// Save writes a trained predictor to disk. Only predictors whose
-// underlying model supports binary marshaling (the default random
-// forest does) can be saved.
-func (p *Predictor) Save(path string) error {
+// Encode serializes a trained predictor to the byte format Save writes
+// and DecodePredictor reads, for callers that install models without
+// touching disk first (the continuous-learning trainer hashes and
+// atomically publishes these bytes). Only predictors whose underlying
+// model supports binary marshaling (the default random forest does) can
+// be encoded.
+func (p *Predictor) Encode() ([]byte, error) {
 	m, ok := p.model.(encoding.BinaryMarshaler)
 	if !ok {
-		return fmt.Errorf("core: %s does not support serialization", p.model.Name())
+		return nil, fmt.Errorf("core: %s does not support serialization", p.model.Name())
 	}
 	data, err := m.MarshalBinary()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var buf []byte
 	buf = append(buf, "SSDP"...)
@@ -296,7 +299,45 @@ func (p *Predictor) Save(path string) error {
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(data)))
 	buf = append(buf, hdr[:]...)
 	buf = append(buf, data...)
+	return buf, nil
+}
+
+// Save writes a trained predictor to disk in the Encode format.
+func (p *Predictor) Save(path string) error {
+	buf, err := p.Encode()
+	if err != nil {
+		return err
+	}
 	return os.WriteFile(path, buf, 0o644)
+}
+
+// TrainPredictorOnMatrix fits a predictor directly on a prepared
+// training matrix. It is the classifier half of TrainPredictor for
+// callers that own their extraction and evaluation pipeline — the
+// continuous-learning trainer builds matrices through the expgrid
+// feature-matrix cache and partitions holdout drives itself, so it
+// needs fit + wrap without the study-level extraction. The returned
+// predictor's ValidationAUC is NaN; evaluation is the caller's job.
+func TrainPredictorOnMatrix(train *dataset.Matrix, opts PredictorOptions) (*Predictor, error) {
+	if opts.Lookahead <= 0 {
+		opts.Lookahead = 1
+	}
+	if opts.Factory == nil {
+		cfg := forest.DefaultConfig()
+		cfg.Seed = opts.Seed
+		cfg.Workers = opts.Workers
+		opts.Factory = forest.NewFactory(cfg)
+	}
+	if train.Positives() == 0 {
+		return nil, fmt.Errorf("core: no failures in training data; cannot train")
+	}
+	clf := opts.Factory()
+	if err := clf.Fit(train); err != nil {
+		return nil, err
+	}
+	p := &Predictor{Lookahead: opts.Lookahead, ValidationAUC: math.NaN(), model: clf}
+	p.initFlat()
+	return p, nil
 }
 
 // LoadPredictor reads a predictor saved by Save. The model is restored

@@ -69,3 +69,20 @@ func hash01(seed uint64, i int) float64 {
 	x := mix64(seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
 	return float64(x>>11) / (1 << 53)
 }
+
+// DeriveSeed is the repo-wide seed-derivation contract exported for
+// consumers outside the grid: mix a base seed with a canonical string
+// key through the same FNV-1a + SplitMix64 pipeline the grid's tasks
+// use. The continuous-learning trainer keys retrain seeds on the
+// snapshot LSN ("learn/retrain/lsn=<lsn>"), so retraining from the same
+// WAL prefix reproduces the same model at any worker count.
+func DeriveSeed(base uint64, key string) uint64 {
+	return mix64(base ^ fnv1a64(key))
+}
+
+// Hash01 is the exported form of the grid's stateless per-index uniform
+// draw: it maps (seed, index) to [0, 1) with no sequential RNG state,
+// so membership decisions (e.g. the trainer's held-out drive partition,
+// keyed by drive ID) are stable as the population grows and identical
+// at any worker count.
+func Hash01(seed uint64, i int) float64 { return hash01(seed, i) }

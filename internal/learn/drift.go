@@ -1,0 +1,80 @@
+package learn
+
+import (
+	"ssdfail/internal/stats"
+	"ssdfail/internal/trace"
+)
+
+// Channel is one monitored dimension of the ingested feature
+// distribution. Value must be a pure function of the record.
+type Channel struct {
+	Name  string
+	Value func(r *trace.DayRecord) float64
+}
+
+// DefaultChannels returns the monitored dimensions: daily write volume
+// (the workload knob that drives wear), daily read volume, and the
+// correctable-error rate (the paper's strongest failure symptom). A
+// shifted workload mix or an error-regime change moves at least one of
+// them.
+func DefaultChannels() []Channel {
+	return []Channel{
+		{Name: "writes", Value: func(r *trace.DayRecord) float64 { return float64(r.Writes) }},
+		{Name: "reads", Value: func(r *trace.DayRecord) float64 { return float64(r.Reads) }},
+		{Name: "corr_err_rate", Value: func(r *trace.DayRecord) float64 {
+			return float64(r.Errors[trace.ErrCorrectable]) / (float64(r.Reads+r.Writes) + 1)
+		}},
+	}
+}
+
+// channelState holds one channel's two windows: a frozen reference
+// distribution (the regime the serving model was trained/validated
+// under) and a ring of the most recent window samples. After every
+// retrain attempt the reference is rebaselined to the current window,
+// so one genuine shift triggers one retrain instead of refiring
+// forever.
+type channelState struct {
+	ch    Channel
+	ref   []float64 // frozen once len == window
+	cur   []float64 // ring buffer, cap == window
+	pos   int       // ring write position
+	fresh int       // samples pushed since the last (re)baseline
+}
+
+// push feeds one sample. The first window of samples builds the initial
+// reference; everything after flows through the current-window ring.
+func (c *channelState) push(v float64, window int) {
+	if len(c.ref) < window {
+		c.ref = append(c.ref, v)
+		return
+	}
+	if len(c.cur) < window {
+		c.cur = append(c.cur, v)
+	} else {
+		c.cur[c.pos] = v
+		c.pos = (c.pos + 1) % window
+	}
+	c.fresh++
+}
+
+// ready reports whether both windows are populated and the current
+// window holds only samples newer than the last baseline, so a KS
+// rejection cannot be an artifact of comparing a window against itself.
+func (c *channelState) ready(window int) bool {
+	return len(c.ref) == window && len(c.cur) == window && c.fresh >= window
+}
+
+// test runs the two-sample KS test of reference vs. current window.
+func (c *channelState) test() (d, p float64) {
+	return stats.KSTwoSample(c.ref, c.cur)
+}
+
+// rebaseline freezes the current window as the new reference. Sample
+// order within a window is irrelevant to KS, so the ring is copied
+// as-is.
+func (c *channelState) rebaseline() {
+	if len(c.cur) == len(c.ref) {
+		copy(c.ref, c.cur)
+	}
+	c.fresh = 0
+}

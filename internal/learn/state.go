@@ -1,0 +1,114 @@
+package learn
+
+import (
+	"sort"
+
+	"ssdfail/internal/trace"
+)
+
+// driveState accumulates one drive's stream of daily reports in arrival
+// (= day) order.
+type driveState struct {
+	id    uint32
+	model trace.Model
+	recs  []trace.DayRecord
+}
+
+// fleetState reconstructs a trace.Fleet from the WAL stream. The WAL
+// carries only (drive, model, day record) tuples — no swap events — so
+// failure labels have to be resynthesized from the reports themselves:
+// a drive that reports Dead, or that goes silent while the rest of the
+// fleet's frontier advances, failed; a drive that reports again after a
+// long gap came back from repair. This mirrors the paper's Section 3
+// reconstruction (failure day = last day of operational activity), with
+// the swap day approximated as the day after the drive's last report.
+type fleetState struct {
+	drives   map[uint32]*driveState
+	ids      []uint32 // sorted; rebuilt lazily
+	sorted   bool
+	frontier int32 // max day observed across the fleet
+	records  int   // total accumulated records
+}
+
+func newFleetState() *fleetState {
+	return &fleetState{drives: make(map[uint32]*driveState), frontier: -1}
+}
+
+// add accumulates one report. Records that do not extend the drive's
+// day sequence (duplicates, regressions — possible on a re-pulled WAL
+// overlap) are dropped; the daemon's store enforced the interesting
+// invariants before the record ever reached the WAL.
+func (s *fleetState) add(id uint32, model trace.Model, rec trace.DayRecord) bool {
+	d, ok := s.drives[id]
+	if !ok {
+		d = &driveState{id: id, model: model}
+		s.drives[id] = d
+		s.sorted = false
+	}
+	if n := len(d.recs); n > 0 && rec.Day <= d.recs[n-1].Day {
+		return false
+	}
+	d.recs = append(d.recs, rec)
+	s.records++
+	if rec.Day > s.frontier {
+		s.frontier = rec.Day
+	}
+	return true
+}
+
+// sortedIDs returns the drive IDs in ascending order — the iteration
+// order of every rebuild, so matrix assembly is map-order independent.
+func (s *fleetState) sortedIDs() []uint32 {
+	if !s.sorted {
+		s.ids = s.ids[:0]
+		for id := range s.drives {
+			s.ids = append(s.ids, id)
+		}
+		sort.Slice(s.ids, func(a, b int) bool { return s.ids[a] < s.ids[b] })
+		s.sorted = true
+	}
+	return s.ids
+}
+
+// synthesizeSwaps reconstructs the drive's swap events from its report
+// stream, viewed at the fleet frontier:
+//
+//   - a run of Dead reports followed by a live report again means the
+//     drive was swapped and returned from repair;
+//   - a mid-stream report gap longer than quietDays means the drive
+//     failed without reporting (the paper's symptom-free cessation) and
+//     returned;
+//   - a trailing Dead report, or trailing silence longer than quietDays
+//     behind the frontier, means the drive failed and has not returned.
+//
+// The synthesized swap day is the day after the last report of the
+// ended period, which keeps failure.Analyze's FailDay (last active day
+// before the swap) exact. Drives whose silence is still shorter than
+// quietDays are right-censored: no swap, no positive labels yet.
+func synthesizeSwaps(recs []trace.DayRecord, frontier int32, quietDays int32) []trace.SwapEvent {
+	var swaps []trace.SwapEvent
+	for i := 0; i+1 < len(recs); i++ {
+		cur, next := &recs[i], &recs[i+1]
+		if next.Day-cur.Day > quietDays || (cur.Dead && !next.Dead) {
+			swaps = append(swaps, trace.SwapEvent{Day: cur.Day + 1})
+		}
+	}
+	if n := len(recs); n > 0 {
+		last := &recs[n-1]
+		if last.Dead || frontier-last.Day > quietDays {
+			swaps = append(swaps, trace.SwapEvent{Day: last.Day + 1})
+		}
+	}
+	return swaps
+}
+
+// buildDrive materializes one drive's trace view: its accumulated
+// records plus the swaps synthesized at the current frontier. The
+// record and swap counts key the per-drive matrix cache — a new report
+// or a newly detected failure invalidates the drive's cached matrix;
+// anything else is a hit, which is what makes re-extraction
+// incremental.
+func (s *fleetState) buildDrive(d *driveState, quietDays int32) trace.Drive {
+	swaps := synthesizeSwaps(d.recs, s.frontier, quietDays)
+	return trace.Drive{ID: d.id, Model: d.model, Days: d.recs, Swaps: swaps}
+}

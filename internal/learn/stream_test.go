@@ -1,0 +1,113 @@
+package learn
+
+import (
+	"fmt"
+
+	"ssdfail/internal/expgrid"
+	"ssdfail/internal/trace"
+)
+
+// streamRec is one WAL-ordered report of the synthetic test stream.
+type streamRec struct {
+	id    uint32
+	model trace.Model
+	rec   trace.DayRecord
+}
+
+// synthConfig parameterizes the hand-built test stream. All randomness
+// is derived from seed through expgrid's key-derivation, so equal
+// configs produce byte-identical streams.
+type synthConfig struct {
+	drives    int     // drive count; IDs 1..drives, all MLC-A
+	days      int32   // reports cover days 0..days
+	shiftDay  int32   // first day of the write-volume shift; <0 = never
+	shiftMult float64 // write multiplier from shiftDay on
+	seed      uint64
+}
+
+// failDayOf returns the failure day of a synthetic drive, or -1 for the
+// healthy ones. Every fourth drive fails, with failure days spread over
+// [40, 80) so the labels are final well before the frontier.
+func failDayOf(id uint32) int32 {
+	if id%4 != 0 {
+		return -1
+	}
+	return 40 + int32(id*13%40)
+}
+
+// synthStream builds a deterministic fleet stream in (day, id) order —
+// the order a daemon's WAL carries it. Healthy drives report a
+// stationary write/read workload every day. Failing drives develop the
+// paper's failure signature over their last ten days (a correctable
+// error ramp plus grown bad blocks), report Dead on the failure day,
+// and then go silent — exactly the cessation signature synthesizeSwaps
+// reconstructs a swap from. From shiftDay on, every surviving drive's
+// write volume is multiplied by shiftMult: the injected distribution
+// shift the KS drift channels watch for.
+func synthStream(c synthConfig) []streamRec {
+	perDrive := make([][]trace.DayRecord, c.drives+1)
+	for id := uint32(1); id <= uint32(c.drives); id++ {
+		dseed := expgrid.DeriveSeed(c.seed, fmt.Sprintf("synth/drive=%d", id))
+		fail := failDayOf(id)
+		var cum trace.DayRecord
+		for day := int32(0); day <= c.days; day++ {
+			if fail >= 0 && day > fail {
+				break // silent after failure
+			}
+			writes := uint64(1e6 * (0.75 + 0.5*expgrid.Hash01(dseed, int(day))))
+			if c.shiftDay >= 0 && day >= c.shiftDay {
+				writes = uint64(float64(writes) * c.shiftMult)
+			}
+			reads := uint64(2e6 * (0.75 + 0.5*expgrid.Hash01(dseed^0xbeef, int(day))))
+			r := trace.DayRecord{
+				Day:    day,
+				Age:    day,
+				Reads:  reads,
+				Writes: writes,
+				Erases: writes / 64,
+			}
+			r.Errors[trace.ErrCorrectable] = uint32(1 + 3*expgrid.Hash01(dseed^0x7e57, int(day)))
+			if fail >= 0 && day > fail-10 {
+				sev := uint32(10 - (fail - day))
+				r.Errors[trace.ErrCorrectable] += 2000 * sev
+				r.Errors[trace.ErrUncorrectable] = sev / 3
+				r.GrownBadBlocks = cum.GrownBadBlocks + sev
+			} else {
+				r.GrownBadBlocks = cum.GrownBadBlocks
+			}
+			if day == fail {
+				r.Dead = true
+			}
+			cum.CumReads += r.Reads
+			cum.CumWrites += r.Writes
+			cum.CumErases += r.Erases
+			cum.GrownBadBlocks = r.GrownBadBlocks
+			for k := range r.Errors {
+				cum.CumErrors[k] += uint64(r.Errors[k])
+			}
+			r.CumReads = cum.CumReads
+			r.CumWrites = cum.CumWrites
+			r.CumErases = cum.CumErases
+			r.CumErrors = cum.CumErrors
+			r.PECycles = float64(cum.CumWrites) / 2.2e8
+			r.FactoryBadBlocks = 3
+			perDrive[id] = append(perDrive[id], r)
+		}
+	}
+	var out []streamRec
+	for day := int32(0); day <= c.days; day++ {
+		for id := uint32(1); id <= uint32(c.drives); id++ {
+			if int(day) < len(perDrive[id]) {
+				out = append(out, streamRec{id, trace.MLCA, perDrive[id][day]})
+			}
+		}
+	}
+	return out
+}
+
+// feed replays the stream through the loop, in order.
+func feed(l *Loop, recs []streamRec) {
+	for i := range recs {
+		l.Observe(recs[i].id, recs[i].model, recs[i].rec)
+	}
+}

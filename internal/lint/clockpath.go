@@ -15,10 +15,14 @@ import (
 // decisions are keyed to probe rounds (so partition scenarios replay
 // byte-identically) and its only time dependencies are injected
 // intervals and context deadlines, never a wall-clock read.
+// The learn trainer joins for the same reason as remedy: its notion of
+// time is the stream record count, and a wall-clock read would break
+// byte-identical decision-log replay.
 var clockPkgs = []string{
 	"internal/serve",
 	"internal/remedy",
 	"internal/cluster",
+	"internal/learn",
 }
 
 // ClockPathAnalyzer flags direct wall-clock reads — time.Now() or
@@ -30,8 +34,8 @@ func ClockPathAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "clockpath",
 		Doc: "flags direct time.Now()/time.Since() calls in clock-disciplined packages " +
-			"(internal/serve, internal/remedy, internal/cluster) outside the " +
-			"clock-injection seam (binding time.Now as a default is the seam)",
+			"(internal/serve, internal/remedy, internal/cluster, internal/learn) outside " +
+			"the clock-injection seam (binding time.Now as a default is the seam)",
 		InScope: scopePackages("clockpath", clockPkgs, nil),
 		Check:   checkClockPath,
 	}

@@ -15,6 +15,12 @@ var deterministicPkgs = []string{
 	"internal/expgrid",
 	"internal/experiments",
 	"internal/remedy",
+	// The continuous-learning loop: its decision log and retrained
+	// model bytes are pinned by committed goldens, so the whole engine
+	// — including the tailer glue — must be free of wall-clock reads
+	// and global rand draws. Its only time dependencies are injected
+	// poll intervals.
+	"internal/learn",
 }
 
 // deterministicFiles extends the contract to single files of packages

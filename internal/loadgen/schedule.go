@@ -78,7 +78,32 @@ type Config struct {
 	// ordering, probes — is identical, so a JSON and a binary run drive
 	// the daemon into the same end state.
 	Wire string
+	// DriftWriteMult > 0 injects a mid-run distribution shift: a second
+	// fleetsim cohort whose models run DriftWriteMult times the write
+	// workload, entering the replay at the DriftAfterFrac point of the
+	// window (default 0.5) on a disjoint ID range (DriftIDOffset above
+	// DriveIDOffset). The ingested write distribution steps when the
+	// cohort comes online — the trigger the continuous-learning
+	// trainer's KS drift check is built to catch. 0 disables.
+	DriftWriteMult float64
+	// DriftAfterFrac is the fraction of the replay window after which
+	// the drift cohort's records begin (only with DriftWriteMult > 0).
+	DriftAfterFrac float64
+	// DriftDrivesPerModel sizes the drift cohort (default
+	// DrivesPerModel).
+	DriftDrivesPerModel int
+	// HazardMult scales every model's failure hazards (base and infant)
+	// in both the base fleet and the drift cohort. Short replay windows
+	// of a calibrated fleet contain almost no failures; training-loop
+	// tests raise this so the window carries enough labeled failures to
+	// retrain from. 0 means 1 (calibrated rates).
+	HazardMult float64
 }
+
+// DriftIDOffset separates the drift cohort's drive IDs from the base
+// fleet's within one schedule (both are additionally shifted by
+// Config.DriveIDOffset).
+const DriftIDOffset = 1 << 18
 
 // Wire formats for Config.Wire.
 const (
@@ -143,6 +168,23 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Wire != WireJSON && c.Wire != WireBinary {
 		return c, fmt.Errorf("loadgen: unknown wire format %q", c.Wire)
+	}
+	if c.DriftWriteMult < 0 {
+		return c, fmt.Errorf("loadgen: negative drift write multiplier %g", c.DriftWriteMult)
+	}
+	if c.HazardMult < 0 {
+		return c, fmt.Errorf("loadgen: negative hazard multiplier %g", c.HazardMult)
+	}
+	if c.HazardMult == 0 {
+		c.HazardMult = 1
+	}
+	if c.DriftWriteMult > 0 {
+		if c.DriftAfterFrac <= 0 || c.DriftAfterFrac >= 1 {
+			c.DriftAfterFrac = 0.5
+		}
+		if c.DriftDrivesPerModel <= 0 {
+			c.DriftDrivesPerModel = c.DrivesPerModel
+		}
 	}
 	return c, nil
 }
@@ -275,14 +317,13 @@ func Build(cfg Config) (*Schedule, error) {
 	}
 	windowStart := fleet.Horizon - cfg.Days
 	perStream := make([][]rec, cfg.Streams)
-	for i := range fleet.Drives {
-		d := &fleet.Drives[i]
-		id := d.ID + cfg.DriveIDOffset
-		s := i % cfg.Streams
+	addDrive := func(idx int, d *trace.Drive, idOffset uint32, from int32) {
+		id := d.ID + idOffset
+		s := idx % cfg.Streams
 		n := 0
 		var last *trace.DayRecord
 		for j := range d.Days {
-			if d.Days[j].Day < windowStart {
+			if d.Days[j].Day < from {
 				continue
 			}
 			perStream[s] = append(perStream[s], rec{id, d.Model, d.Days[j].Day, &d.Days[j]})
@@ -296,6 +337,25 @@ func Build(cfg Config) (*Schedule, error) {
 				LastDay: last.Day,
 				LastAge: last.Age,
 			}
+		}
+	}
+	for i := range fleet.Drives {
+		addDrive(i, &fleet.Drives[i], cfg.DriveIDOffset, windowStart)
+	}
+	if cfg.DriftWriteMult > 0 {
+		// The drift cohort: a write-shifted fleet whose drives come
+		// online partway through the replay window, stepping the
+		// ingested write distribution mid-run. Cohort drives continue
+		// the base fleet's stream round-robin so every stream sees the
+		// shift, and per-drive day ordering still holds because each
+		// drive lives in exactly one stream.
+		drift, err := buildDriftFleet(cfg)
+		if err != nil {
+			return nil, err
+		}
+		driftStart := windowStart + int32(cfg.DriftAfterFrac*float64(cfg.Days))
+		for j := range drift.Drives {
+			addDrive(len(fleet.Drives)+j, &drift.Drives[j], cfg.DriveIDOffset+DriftIDOffset, driftStart)
 		}
 	}
 
@@ -425,9 +485,50 @@ func buildFleet(cfg Config) (*trace.Fleet, error) {
 		EarlyFrac:   0.55,
 		EarlyWindow: cfg.HorizonDays / 3,
 	}
+	scaleHazards(fc.Models, cfg.HazardMult)
 	fleet, _, err := fleetsim.Generate(fc)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: generating fleet: %w", err)
+	}
+	return fleet, nil
+}
+
+// scaleHazards applies Config.HazardMult to every model's failure
+// hazards.
+func scaleHazards(models []fleetsim.ModelConfig, mult float64) {
+	if mult == 1 {
+		return
+	}
+	for i := range models {
+		models[i].BaseHazard *= mult
+		models[i].InfantHazard *= mult
+	}
+}
+
+// buildDriftFleet generates the write-shifted drift cohort: the same
+// three models with WriteScale multiplied, on a seed derived from the
+// schedule seed so cohort traces are uncorrelated with the base
+// fleet's.
+func buildDriftFleet(cfg Config) (*trace.Fleet, error) {
+	models := []fleetsim.ModelConfig{
+		fleetsim.DefaultModelConfig(trace.MLCA, cfg.DriftDrivesPerModel),
+		fleetsim.DefaultModelConfig(trace.MLCB, cfg.DriftDrivesPerModel),
+		fleetsim.DefaultModelConfig(trace.MLCD, cfg.DriftDrivesPerModel),
+	}
+	for i := range models {
+		models[i].WriteScale *= cfg.DriftWriteMult
+	}
+	scaleHazards(models, cfg.HazardMult)
+	fc := fleetsim.FleetConfig{
+		Seed:        cfg.Seed ^ 0xd21f7,
+		HorizonDays: cfg.HorizonDays,
+		Models:      models,
+		EarlyFrac:   0.55,
+		EarlyWindow: cfg.HorizonDays / 3,
+	}
+	fleet, _, err := fleetsim.Generate(fc)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: generating drift cohort: %w", err)
 	}
 	return fleet, nil
 }

@@ -208,3 +208,127 @@ func TestBuildRejectsBadConfig(t *testing.T) {
 		t.Fatal("sub-90-day horizon accepted")
 	}
 }
+
+// TestBuildDriftCohort pins the drift-injection schedule: the cohort
+// lives on a disjoint ID range, its records begin exactly at the
+// DriftAfterFrac point of the replay window, the base fleet's replay is
+// untouched, and drift-free configs keep their schedule hash.
+func TestBuildDriftCohort(t *testing.T) {
+	base := testConfig(42)
+	plain, err := Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drifted := base
+	drifted.DriftWriteMult = 8
+	drifted.DriftAfterFrac = 0.5
+	drifted.DriftDrivesPerModel = 4
+	sched, err := Build(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	driftStart := drifted.HorizonDays - drifted.Days + int32(0.5*float64(drifted.Days))
+	var cohort, baseDrives int
+	for id, exp := range sched.Drives {
+		if id >= DriftIDOffset {
+			cohort++
+			if exp.LastDay < driftStart {
+				t.Fatalf("cohort drive %d last day %d, before drift start %d", id, exp.LastDay, driftStart)
+			}
+			continue
+		}
+		baseDrives++
+		// The base fleet's expected end state is identical with and
+		// without the cohort.
+		if want, ok := plain.Drives[id]; !ok || want != exp {
+			t.Fatalf("base drive %d end state changed by drift cohort: %+v vs %+v", id, exp, want)
+		}
+	}
+	if cohort == 0 {
+		t.Fatal("no drift cohort drives scheduled")
+	}
+	if baseDrives != len(plain.Drives) {
+		t.Fatalf("base fleet shrank: %d vs %d drives", baseDrives, len(plain.Drives))
+	}
+
+	// Cohort records never predate the drift start. Decode every JSON
+	// ingest batch and check the cohort IDs' days.
+	for s := range sched.Streams {
+		for _, op := range sched.Streams[s].Ops {
+			if op.Kind != OpIngestBatch {
+				continue
+			}
+			var batch []serve.IngestRecord
+			if err := json.Unmarshal(op.Body, &batch); err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range batch {
+				if r.DriveID >= DriftIDOffset && r.Day < driftStart {
+					t.Fatalf("cohort record for drive %d at day %d, before drift start %d", r.DriveID, r.Day, driftStart)
+				}
+			}
+		}
+	}
+
+	// Drift changes the schedule (and so its hash); determinism holds
+	// per config; drift-free builds are unaffected by the new fields.
+	if sched.Hash == plain.Hash {
+		t.Fatal("drift cohort left the schedule hash unchanged")
+	}
+	again, err := Build(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Hash != sched.Hash {
+		t.Fatal("drifted schedule not deterministic")
+	}
+
+	bad := base
+	bad.DriftWriteMult = -1
+	if _, err := Build(bad); err == nil {
+		t.Fatal("negative drift multiplier accepted")
+	}
+	bad = base
+	bad.HazardMult = -2
+	if _, err := Build(bad); err == nil {
+		t.Fatal("negative hazard multiplier accepted")
+	}
+}
+
+// TestBuildHazardMult: raising the hazard changes the replayed fleet
+// (more failures, fewer surviving records) but stays deterministic,
+// and the neutral values 0 and 1 build identical schedules.
+func TestBuildHazardMult(t *testing.T) {
+	base := testConfig(42)
+	plain, err := Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neutral := base
+	neutral.HazardMult = 1
+	same, err := Build(neutral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Hash != plain.Hash {
+		t.Fatal("HazardMult 1 changed the schedule")
+	}
+	boosted := base
+	boosted.HazardMult = 50
+	hot, err := Build(boosted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Hash == plain.Hash {
+		t.Fatal("HazardMult 50 left the fleet unchanged")
+	}
+	hot2, err := Build(boosted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot2.Hash != hot.Hash {
+		t.Fatal("boosted schedule not deterministic")
+	}
+}

@@ -132,6 +132,7 @@ type Server struct {
 	ingestRejected *CounterVec
 	scoredDrives   *Counter
 	scoreDur       *Histogram
+	loads          *Counter
 	reloads        *Counter
 	reloadFailures *Counter
 	sheds          *CounterVec
@@ -212,8 +213,11 @@ func New(cfg Config) (*Server, error) {
 		"Drives scored by fleet scoring passes.")
 	s.scoreDur = m.NewHistogram("ssdserved_scoring_duration_seconds",
 		"Latency of full-fleet scoring passes.", DurationBuckets)
+	s.loads = m.NewCounter("ssdserved_model_loads_total",
+		"Successful model loads, including the startup load.")
 	s.reloads = m.NewCounter("ssdserved_model_reloads_total",
-		"Successful model (re)loads, including the startup load.")
+		"Successful reloads via POST /v1/model/reload; excludes the startup load, "+
+			"so this counts exactly the hot swaps (e.g. trainer promotions).")
 	s.reloadFailures = m.NewCounter("ssdserved_model_reload_failures_total",
 		"Model reloads that failed and kept the previous model.")
 	s.sheds = m.NewCounterVec("ssdserved_load_shed_total",
@@ -225,7 +229,7 @@ func New(cfg Config) (*Server, error) {
 		"Replicated records skipped as already present (benign re-pull overlap).")
 	s.walStreamed = m.NewCounter("ssdserved_wal_stream_bytes_total",
 		"Bytes served to followers over the WAL catch-up endpoint.")
-	s.reloads.Inc() // the startup load above
+	s.loads.Inc() // the startup load above; reloads stays 0 until a hot swap
 	if j := s.journal; j != nil {
 		s.snapshotReqs = m.NewCounter("ssdserved_snapshot_requests_total",
 			"Snapshots requested via POST /v1/snapshot.")
@@ -716,6 +720,7 @@ func (s *Server) handleModelReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	s.loads.Inc()
 	s.reloads.Inc()
 	writeJSON(w, http.StatusOK, info)
 }

@@ -242,7 +242,11 @@ func TestServerIngestScoreWatchlistRoundTrip(t *testing.T) {
 		fmt.Sprintf("ssdserved_fleet_drives %d", len(lastDay)),
 		fmt.Sprintf("ssdserved_scored_drives_total %d", len(lastDay)),
 		"ssdserved_model_version 1",
-		"ssdserved_model_reloads_total 1",
+		// The startup load counts as a load, never as a reload: promotion
+		// accounting (trainer non-inferiority gate) reads reloads_total as
+		// "hot swaps performed", which must start at zero.
+		"ssdserved_model_loads_total 1",
+		"ssdserved_model_reloads_total 0",
 		`ssdserved_http_requests_total{handler="ingest_batch",code="202"} 2`,
 		"ssdserved_http_request_duration_seconds_bucket",
 		"ssdserved_scoring_duration_seconds_count 1",
@@ -463,6 +467,103 @@ func TestServerConcurrentIngestAndReload(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(metrics), "ssdserved_model_reload_failures_total 10") {
 		t.Errorf("metrics missing reload failure count:\n%s", grepLines(string(metrics), "reload"))
+	}
+	// Exact accounting of the split counters under load: 20 of the 30
+	// reload attempts succeeded, and loads additionally counts the
+	// startup load.
+	if !strings.Contains(string(metrics), "ssdserved_model_reloads_total 20") {
+		t.Errorf("metrics missing successful reload count:\n%s", grepLines(string(metrics), "reload"))
+	}
+	if !strings.Contains(string(metrics), "ssdserved_model_loads_total 21") {
+		t.Errorf("metrics missing load count:\n%s", grepLines(string(metrics), "loads"))
+	}
+}
+
+// TestModelReloadFailurePaths pins the reload failure path end to end:
+// corrupt challenger bytes must fail the reload with a 500, advance
+// only the failure counter, and leave the serving model — identity,
+// version, and scoreability — untouched; restoring valid bytes must
+// succeed and advance exactly the load/reload counters.
+func TestModelReloadFailurePaths(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	valid, err := os.ReadFile(fixModelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, func(c *Config) { c.ModelPath = path })
+
+	counters := func() (loads, reloads, failures string) {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		sample := func(name string) string {
+			for _, line := range strings.Split(string(body), "\n") {
+				if strings.HasPrefix(line, name+" ") {
+					return line
+				}
+			}
+			return ""
+		}
+		return sample("ssdserved_model_loads_total"),
+			sample("ssdserved_model_reloads_total"),
+			sample("ssdserved_model_reload_failures_total")
+	}
+
+	// Startup: one load, zero reloads, zero failures.
+	if l, r, f := counters(); l != "ssdserved_model_loads_total 1" ||
+		r != "ssdserved_model_reloads_total 0" ||
+		f != "ssdserved_model_reload_failures_total 0" {
+		t.Fatalf("startup counters: %q %q %q", l, r, f)
+	}
+	before := ModelInfo{}
+	getJSON(t, ts.URL+"/v1/model", &before)
+
+	// Corrupt challenger bytes: the reload must fail loudly...
+	if err := os.WriteFile(path, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/model/reload", nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("corrupt reload: status %d body %s", resp.StatusCode, body)
+	}
+	if l, r, f := counters(); l != "ssdserved_model_loads_total 1" ||
+		r != "ssdserved_model_reloads_total 0" ||
+		f != "ssdserved_model_reload_failures_total 1" {
+		t.Fatalf("post-corrupt counters: %q %q %q", l, r, f)
+	}
+	// ...and the champion keeps serving, byte for byte.
+	after := ModelInfo{}
+	getJSON(t, ts.URL+"/v1/model", &after)
+	if after.Version != before.Version || after.SHA256 != before.SHA256 {
+		t.Fatalf("serving model changed under a failed reload: %+v -> %+v", before, after)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/ingest/batch", fleetDay(0)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest after failed reload: status %d", resp.StatusCode)
+	}
+
+	// Valid bytes again: the swap lands and the split counters advance.
+	if err := os.WriteFile(path, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/model/reload", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid reload: status %d body %s", resp.StatusCode, body)
+	}
+	if l, r, f := counters(); l != "ssdserved_model_loads_total 2" ||
+		r != "ssdserved_model_reloads_total 1" ||
+		f != "ssdserved_model_reload_failures_total 1" {
+		t.Fatalf("post-recovery counters: %q %q %q", l, r, f)
+	}
+	final := ModelInfo{}
+	getJSON(t, ts.URL+"/v1/model", &final)
+	if final.Version != before.Version+1 {
+		t.Fatalf("version %d after recovery, want %d", final.Version, before.Version+1)
 	}
 }
 

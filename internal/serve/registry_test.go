@@ -89,10 +89,22 @@ func TestRegistryFailedLoadKeepsOldModel(t *testing.T) {
 // the batch began — a reload landing mid-batch must never leak its new
 // model into units already in flight. It also checks that the
 // (predictor, version) pairing is never torn: one version, one pointer.
-// Run under -race this doubles as a data-race probe on the whole
-// registry/scorer path.
+// Every third reload is fed corrupt model bytes: the failed load must
+// neither bump the version nor disturb the serving predictor, while
+// batches keep scoring through it. Run under -race this doubles as a
+// data-race probe on the whole registry/scorer path.
 func TestHotSwapNeverMixesModelsInABatch(t *testing.T) {
-	reg := NewRegistry(fixModelPath, nil)
+	// A private copy of the fixture model, so failing loads can corrupt
+	// the file without affecting other tests.
+	path := filepath.Join(t.TempDir(), "model.bin")
+	valid, err := os.ReadFile(fixModelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(path, nil)
 	if _, err := reg.Load(); err != nil {
 		t.Fatal(err)
 	}
@@ -136,12 +148,38 @@ func TestHotSwapNeverMixesModelsInABatch(t *testing.T) {
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 
-	// Reloader: swap the model as fast as it will go.
+	// Reloader: swap the model as fast as it will go, interleaving
+	// deliberately failing loads (corrupt bytes) between the good ones.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer close(stop)
 		for i := 0; i < reloads; i++ {
+			if i%3 == 2 {
+				if err := os.WriteFile(path, []byte("torn model bytes"), 0o644); err != nil {
+					t.Error(err)
+					return
+				}
+				prevPred, prevInfo, ok := reg.Current()
+				if !ok {
+					t.Error("registry empty before failing load")
+					return
+				}
+				if _, err := reg.Load(); err == nil {
+					t.Errorf("reload %d: corrupt bytes loaded", i)
+					return
+				}
+				curPred, curInfo, ok := reg.Current()
+				if !ok || curPred != prevPred || curInfo.Version != prevInfo.Version {
+					t.Errorf("reload %d: failed load disturbed the serving model", i)
+					return
+				}
+				if err := os.WriteFile(path, valid, 0o644); err != nil {
+					t.Error(err)
+					return
+				}
+				continue
+			}
 			info, err := reg.Load()
 			if err != nil {
 				t.Errorf("reload %d: %v", i, err)

@@ -75,6 +75,16 @@ func KSPValue(d float64, n, m int) float64 {
 	return p
 }
 
+// KSTwoSample runs the full two-sample test in one call: the KS
+// statistic of xs against ys and its asymptotic p-value. This is the
+// drift-detection primitive of the continuous-learning trainer, which
+// compares a reference window of ingested feature values against the
+// most recent window.
+func KSTwoSample(xs, ys []float64) (d, p float64) {
+	d = KSStatistic(xs, ys)
+	return d, KSPValue(d, len(xs), len(ys))
+}
+
 // KSUniform returns the one-sample KS statistic of xs against the
 // Uniform(0,1) distribution, for RNG validation.
 func KSUniform(xs []float64) float64 {
