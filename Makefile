@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt vet baseline remedy-scenarios cluster-chaos train-loop
+.PHONY: all build test race lint lint-contracts fmt vet baseline remedy-scenarios cluster-chaos train-loop
 
 all: build lint test
 
@@ -17,7 +17,15 @@ race:
 # Exits nonzero on any finding not fixed, //ssdlint:allow-ed, or
 # parked in .ssdlint-baseline.
 lint:
-	$(GO) run ./cmd/ssdlint -baseline .ssdlint-baseline ./...
+	$(GO) run ./cmd/ssdlint -baseline .ssdlint-baseline -strict-baseline ./...
+
+# The dataflow contract wall: runs the four CFG-based analyzers over
+# their fixture packages (each must fail with exactly its want-annotated
+# findings), the CFG/summary unit tests, and the full-module clean
+# check, then writes LINT_REPORT.json with per-analyzer counts.
+lint-contracts:
+	$(GO) test -count=1 -run 'TestCFG|TestSummary|TestAnalyzerFixtures|TestFixturesFailViaCLI|TestContractAnalyzers|TestMainModuleIsClean|TestStrictBaseline|TestReportCounts|TestHotAllocCatches|TestPoolEscapeCatches' ./internal/lint/
+	$(GO) run ./cmd/ssdlint -baseline .ssdlint-baseline -strict-baseline -report LINT_REPORT.json ./...
 
 # Regenerate the baseline. Only for adopting the tool on a tree with
 # known findings; the committed baseline is empty and should stay so.

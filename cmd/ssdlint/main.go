@@ -8,6 +8,7 @@
 //	go run ./cmd/ssdlint -json ./internal/serve
 //	go run ./cmd/ssdlint -baseline .ssdlint-baseline ./...
 //	go run ./cmd/ssdlint -baseline .ssdlint-baseline -write-baseline ./...
+//	go run ./cmd/ssdlint -baseline .ssdlint-baseline -strict-baseline -report LINT_REPORT.json ./...
 //
 // Exit status: 0 when no findings outside the baseline, 1 when new
 // findings exist, 2 on usage or load errors. Individual findings are
@@ -30,6 +31,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	baseline := flag.String("baseline", "", "baseline `file` of accepted findings (missing file = empty)")
 	writeBaseline := flag.Bool("write-baseline", false, "rewrite the -baseline file with the current findings and exit 0")
+	strictBaseline := flag.Bool("strict-baseline", false, "fail (exit 1) when the -baseline file has stale entries matching no current finding")
+	report := flag.String("report", "", "write a JSON run summary with per-analyzer finding counts to `file`")
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: ssdlint [flags] packages...\n\n")
@@ -49,10 +52,12 @@ func main() {
 		os.Exit(lint.ExitError)
 	}
 	os.Exit(lint.Run(lint.Options{
-		Dir:           cwd,
-		Patterns:      flag.Args(),
-		JSON:          *jsonOut,
-		BaselinePath:  *baseline,
-		WriteBaseline: *writeBaseline,
+		Dir:            cwd,
+		Patterns:       flag.Args(),
+		JSON:           *jsonOut,
+		BaselinePath:   *baseline,
+		WriteBaseline:  *writeBaseline,
+		StrictBaseline: *strictBaseline,
+		ReportPath:     *report,
 	}))
 }

@@ -366,6 +366,7 @@ func (rt *Router) doHedged(ctx context.Context, method, url, contentType string,
 		code, b, err := rt.do(ctx, method, url, contentType, body)
 		ch <- result{code, b, err}
 	}
+	//ssdlint:allow goroleak request-scoped: rt.do is bounded by the per-node deadline ctx and the buffered channel absorbs the send
 	go fire()
 	canHedge := hedge && rt.cfg.HedgeAfter > 0
 	var hedgeC <-chan time.Time
@@ -389,6 +390,7 @@ func (rt *Router) doHedged(ctx context.Context, method, url, contentType string,
 				hedgeC = nil
 				rt.hedges.Inc()
 				outstanding++
+				//ssdlint:allow goroleak request-scoped hedge: bounded by the same per-node deadline ctx as the first attempt
 				go fire()
 				continue
 			}
@@ -400,6 +402,7 @@ func (rt *Router) doHedged(ctx context.Context, method, url, contentType string,
 			canHedge = false
 			rt.hedges.Inc()
 			outstanding++
+			//ssdlint:allow goroleak request-scoped hedge: bounded by the same per-node deadline ctx as the first attempt
 			go fire()
 		}
 	}

@@ -1,0 +1,515 @@
+package lint
+
+// Per-function control-flow graphs and a small forward dataflow
+// framework. The contract analyzers added in ssdlint v2 (hotalloc,
+// poolescape, lockheld, goroleak) are not purely syntactic: "a blocking
+// call is reachable while the mutex is held" and "a pooled buffer is
+// used past its Put" are path properties. The CFG keeps them honest —
+// the WAL's syncer, for example, releases its mutex before fsyncing,
+// and only a graph walk can tell that apart from an fsync under lock.
+//
+// Granularity is one node per statement. Compound statements (if, for,
+// switch, select) get a header node carrying only the expressions the
+// statement itself evaluates (condition, range operand, switch tag);
+// their bodies become separate nodes wired through successor edges.
+// Short-circuit evaluation inside one expression is not modeled — facts
+// hold at statement boundaries, which is exactly the precision the
+// analyzers need.
+
+import (
+	"go/ast"
+)
+
+// A cfgNode is one statement (or statement header) in a function's
+// control-flow graph.
+type cfgNode struct {
+	// stmt is the underlying statement; nil only for the synthetic exit
+	// node. For compound statements this is the statement itself, but
+	// scan — not stmt — delimits what this node evaluates.
+	stmt ast.Stmt
+	// scan holds the AST nodes evaluated when control reaches this node:
+	// the whole statement for simple statements, just the header
+	// expressions for compound ones. Walks over scan must not descend
+	// into nested *ast.FuncLit bodies (walkScan enforces this); literals
+	// are analyzed as their own functions.
+	scan []ast.Node
+	// succs are indices of possible successor nodes.
+	succs []int
+}
+
+// A cfg is the control-flow graph of one function body.
+type cfg struct {
+	nodes []cfgNode
+	entry int // index of the first node (== exit for an empty body)
+	exit  int // synthetic exit node; returns and falling off the end reach it
+	// defers lists every defer statement in the body, in source order.
+	// Deferred calls execute at the exit, so analyses that track
+	// paired-at-exit effects (a deferred Unlock or Put) read this
+	// instead of the node sequence.
+	defers []*ast.DeferStmt
+}
+
+// cfgBuilder holds the state of one graph construction.
+type cfgBuilder struct {
+	c *cfg
+	// breakTo / continueTo are stacks of jump targets for enclosing
+	// loops/switches; each entry carries the statement's label ("" for
+	// unlabeled).
+	breakTo    []jumpTarget
+	continueTo []jumpTarget
+	// labels maps a label name to the node starting the labeled
+	// statement, for goto resolution.
+	labels map[string]int
+	// pendingGotos are goto nodes whose label had not been seen yet.
+	pendingGotos []pendingGoto
+	// pendingLabel carries a label down to the next loop/switch so its
+	// break/continue targets register under that name.
+	pendingLabel string
+}
+
+type jumpTarget struct {
+	label string
+	node  int
+}
+
+type pendingGoto struct {
+	node  int
+	label string
+}
+
+// buildCFG constructs the control-flow graph of one function body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{c: &cfg{}, labels: map[string]int{}}
+	exit := b.newNode(nil, nil) // reserve index 0 for the exit
+	b.c.exit = exit
+	first, last := b.buildStmts(body.List)
+	if first < 0 {
+		b.c.entry = exit
+	} else {
+		b.c.entry = first
+	}
+	for _, n := range last {
+		b.edge(n, exit)
+	}
+	for _, g := range b.pendingGotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.node, target)
+		} else {
+			// An unresolved goto (label in a part of the tree we did not
+			// wire) conservatively flows to the exit.
+			b.edge(g.node, exit)
+		}
+	}
+	return b.c
+}
+
+func (b *cfgBuilder) newNode(stmt ast.Stmt, scan []ast.Node) int {
+	b.c.nodes = append(b.c.nodes, cfgNode{stmt: stmt, scan: scan})
+	return len(b.c.nodes) - 1
+}
+
+func (b *cfgBuilder) edge(from, to int) {
+	n := &b.c.nodes[from]
+	for _, s := range n.succs {
+		if s == to {
+			return
+		}
+	}
+	n.succs = append(n.succs, to)
+}
+
+// buildStmts wires a statement list. It returns the index of the first
+// node (-1 for an empty list) and the set of open ends — nodes whose
+// control falls through to whatever follows the list.
+func (b *cfgBuilder) buildStmts(stmts []ast.Stmt) (first int, last []int) {
+	first = -1
+	last = nil
+	for _, s := range stmts {
+		f, l := b.buildStmt(s)
+		if f < 0 {
+			continue
+		}
+		if first < 0 {
+			first = f
+		}
+		for _, n := range last {
+			b.edge(n, f)
+		}
+		last = l
+	}
+	return first, last
+}
+
+// exprs collects non-nil AST nodes for a scan list.
+func exprs(nodes ...ast.Node) []ast.Node {
+	var out []ast.Node
+	for _, n := range nodes {
+		if n != nil {
+			switch v := n.(type) {
+			case *ast.BlockStmt:
+				continue // bodies are wired, not scanned
+			case ast.Expr:
+				out = append(out, v)
+			default:
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// buildStmt wires one statement and returns its first node and open
+// ends. A statement that never falls through (return, goto,
+// break/continue) returns no open ends.
+func (b *cfgBuilder) buildStmt(s ast.Stmt) (first int, last []int) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		f, l := b.buildStmts(s.List)
+		if f < 0 {
+			// An empty block still needs a node so edges can pass through.
+			n := b.newNode(s, nil)
+			return n, []int{n}
+		}
+		return f, l
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		f, l := b.buildStmt(s.Stmt)
+		if f < 0 {
+			f = b.newNode(s, nil)
+			l = []int{f}
+		}
+		b.labels[s.Label.Name] = f
+		return f, l
+
+	case *ast.IfStmt:
+		head := b.newNode(s, exprs(s.Init, s.Cond))
+		tf, tl := b.buildStmts(s.Body.List)
+		if tf < 0 {
+			last = append(last, head)
+		} else {
+			b.edge(head, tf)
+			last = append(last, tl...)
+		}
+		if s.Else != nil {
+			ef, el := b.buildStmt(s.Else)
+			if ef < 0 {
+				last = append(last, head)
+			} else {
+				b.edge(head, ef)
+				last = append(last, el...)
+			}
+		} else {
+			last = append(last, head)
+		}
+		return head, last
+
+	case *ast.ForStmt:
+		head := b.newNode(s, exprs(s.Init, s.Cond, s.Post))
+		b.pushLoop(label, head)
+		bf, bl := b.buildStmts(s.Body.List)
+		if bf < 0 {
+			b.edge(head, head)
+		} else {
+			b.edge(head, bf)
+			for _, n := range bl {
+				b.edge(n, head)
+			}
+		}
+		breakNode := b.popLoop()
+		if s.Cond != nil {
+			last = append(last, head)
+		}
+		last = append(last, breakNode...)
+		return head, last
+
+	case *ast.RangeStmt:
+		head := b.newNode(s, exprs(s.Key, s.Value, s.X))
+		b.pushLoop(label, head)
+		bf, bl := b.buildStmts(s.Body.List)
+		if bf < 0 {
+			b.edge(head, head)
+		} else {
+			b.edge(head, bf)
+			for _, n := range bl {
+				b.edge(n, head)
+			}
+		}
+		breakNode := b.popLoop()
+		last = append(last, head)
+		last = append(last, breakNode...)
+		return head, last
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var scan []ast.Node
+		var bodyList []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			scan = exprs(sw.Init, sw.Tag)
+			bodyList = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			scan = exprs(sw.Init, sw.Assign)
+			bodyList = sw.Body.List
+		}
+		head := b.newNode(s, scan)
+		b.pushBreakOnly(label)
+		hasDefault := false
+		type caseEnds struct {
+			bodyFirst int
+			open      []int
+			nextBody  *int // fallthrough target fill-in
+		}
+		var cases []caseEnds
+		for _, cs := range bodyList {
+			cc, ok := cs.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			var listScan []ast.Node
+			for _, e := range cc.List {
+				listScan = append(listScan, e)
+			}
+			cn := b.newNode(cc, listScan)
+			b.edge(head, cn)
+			bf, bl := b.buildStmts(cc.Body)
+			body := cn
+			if bf >= 0 {
+				b.edge(cn, bf)
+			}
+			ends := bl
+			if bf < 0 {
+				ends = []int{cn}
+			}
+			// A trailing fallthrough jumps to the next case's body;
+			// resolve after all cases are built.
+			fallsThrough := false
+			if len(cc.Body) > 0 {
+				if br, ok := cc.Body[len(cc.Body)-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+					fallsThrough = true
+				}
+			}
+			ce := caseEnds{bodyFirst: body, open: ends}
+			if fallsThrough {
+				ce.nextBody = new(int)
+			}
+			cases = append(cases, ce)
+		}
+		for i := range cases {
+			if cases[i].nextBody != nil && i+1 < len(cases) {
+				// Wire every open end of the falling-through case to the
+				// next case's first body node.
+				for _, n := range cases[i].open {
+					b.edge(n, cases[i+1].bodyFirst)
+				}
+				cases[i].open = nil
+			}
+			last = append(last, cases[i].open...)
+		}
+		if !hasDefault || len(cases) == 0 {
+			last = append(last, head)
+		}
+		last = append(last, b.popLoop()...)
+		return head, last
+
+	case *ast.SelectStmt:
+		head := b.newNode(s, nil)
+		b.pushBreakOnly(label)
+		for _, cs := range s.Body.List {
+			cc, ok := cs.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			cn := b.newNode(cc, exprs(cc.Comm))
+			b.edge(head, cn)
+			bf, bl := b.buildStmts(cc.Body)
+			if bf >= 0 {
+				b.edge(cn, bf)
+				last = append(last, bl...)
+			} else {
+				last = append(last, cn)
+			}
+		}
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever; no successors beyond breaks.
+			last = nil
+		}
+		last = append(last, b.popLoop()...)
+		return head, last
+
+	case *ast.ReturnStmt:
+		var scan []ast.Node
+		for _, e := range s.Results {
+			scan = append(scan, e)
+		}
+		n := b.newNode(s, scan)
+		b.edge(n, b.c.exit)
+		return n, nil
+
+	case *ast.BranchStmt:
+		n := b.newNode(s, nil)
+		name := ""
+		if s.Label != nil {
+			name = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			if t := b.findTarget(b.breakTo, name); t >= 0 {
+				b.edge(n, t)
+			} else {
+				b.edge(n, b.c.exit)
+			}
+		case "continue":
+			if t := b.findTarget(b.continueTo, name); t >= 0 {
+				b.edge(n, t)
+			} else {
+				b.edge(n, b.c.exit)
+			}
+		case "goto":
+			if t, ok := b.labels[name]; ok {
+				b.edge(n, t)
+			} else {
+				b.pendingGotos = append(b.pendingGotos, pendingGoto{node: n, label: name})
+			}
+		case "fallthrough":
+			// Wired by the enclosing switch; node just exists so facts
+			// flow through the case's open ends.
+			return n, []int{n}
+		}
+		return n, nil
+
+	case *ast.DeferStmt:
+		// The call's arguments are evaluated here; the call itself runs
+		// at exit. Record it for exit-time analyses.
+		var scan []ast.Node
+		for _, a := range s.Call.Args {
+			scan = append(scan, a)
+		}
+		n := b.newNode(s, scan)
+		b.c.defers = append(b.c.defers, s)
+		return n, []int{n}
+
+	default:
+		// Simple statements: expression, assignment, send, inc/dec, go,
+		// declarations, empty. The whole statement is the scan set.
+		n := b.newNode(s, []ast.Node{s})
+		return n, []int{n}
+	}
+}
+
+func (b *cfgBuilder) pushLoop(label string, head int) {
+	// The break target is a join node created lazily: breaks edge to a
+	// placeholder node that the caller then treats as an open end.
+	join := b.newNode(nil, nil)
+	b.breakTo = append(b.breakTo, jumpTarget{label: label, node: join})
+	b.continueTo = append(b.continueTo, jumpTarget{label: label, node: head})
+}
+
+func (b *cfgBuilder) pushBreakOnly(label string) {
+	join := b.newNode(nil, nil)
+	b.breakTo = append(b.breakTo, jumpTarget{label: label, node: join})
+	b.continueTo = append(b.continueTo, jumpTarget{label: "\x00none", node: -1})
+}
+
+// popLoop unwinds one break/continue level and returns the break join
+// node as an open end when any break targeted it.
+func (b *cfgBuilder) popLoop() []int {
+	join := b.breakTo[len(b.breakTo)-1].node
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+	return []int{join}
+}
+
+// findTarget resolves a break/continue label against a target stack
+// (innermost last). An empty name matches the innermost real target.
+func (b *cfgBuilder) findTarget(stack []jumpTarget, name string) int {
+	for i := len(stack) - 1; i >= 0; i-- {
+		t := stack[i]
+		if t.node < 0 {
+			continue // a switch/select level that continue skips past
+		}
+		if name == "" || t.label == name {
+			return t.node
+		}
+	}
+	return -1
+}
+
+// walkScan applies fn to every node of each scan entry, skipping nested
+// function literal bodies: a literal's statements belong to its own
+// CFG, not to the enclosing function's facts.
+func walkScan(scan []ast.Node, fn func(ast.Node) bool) {
+	for _, root := range scan {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			// The literal itself is visible (it is an expression of the
+			// enclosing function) but its body is not.
+			if _, ok := n.(*ast.FuncLit); ok && n != root {
+				fn(n)
+				return false
+			}
+			return fn(n)
+		})
+	}
+}
+
+// factSet is a dataflow fact: a set of keys (lock identities, tainted
+// objects, phase markers). Keys are compared with ==.
+type factSet map[any]bool
+
+func (f factSet) clone() factSet {
+	out := make(factSet, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+// union merges src into dst and reports whether dst grew.
+func (f factSet) union(src factSet) bool {
+	grew := false
+	for k := range src {
+		if !f[k] {
+			f[k] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+// forward runs a forward may-analysis to fixpoint and returns the fact
+// set reaching each node (before the node's own transfer). transfer
+// must be a pure function of (node index, in-fact) of the gen/kill
+// form: out = in − kill(n) ∪ gen(n), which with union joins guarantees
+// termination.
+func (c *cfg) forward(entryFact factSet, transfer func(n int, in factSet) factSet) []factSet {
+	ins := make([]factSet, len(c.nodes))
+	ins[c.entry] = entryFact.clone()
+	work := []int{c.entry}
+	inWork := make([]bool, len(c.nodes))
+	inWork[c.entry] = true
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[n] = false
+		out := transfer(n, ins[n])
+		for _, s := range c.nodes[n].succs {
+			if ins[s] == nil {
+				ins[s] = out.clone()
+			} else if !ins[s].union(out) {
+				continue
+			}
+			if !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return ins
+}

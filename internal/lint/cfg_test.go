@@ -1,0 +1,247 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src (a complete file) and returns the body of its
+// first function declaration.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// genKillTransfer is a toy transfer over calls named gen/kill: gen sets
+// the single fact, kill removes it. It exercises the same clone/union
+// machinery the real analyzers use.
+func genKillTransfer(g *cfg) func(int, factSet) factSet {
+	return func(n int, in factSet) factSet {
+		out := in.clone()
+		walkScan(g.nodes[n].scan, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "gen":
+					out["f"] = true
+				case "kill":
+					delete(out, "f")
+				}
+			}
+			return true
+		})
+		return out
+	}
+}
+
+// nodeCalling finds the node whose scan contains a call to name.
+func nodeCalling(g *cfg, name string) int {
+	for i := range g.nodes {
+		found := false
+		walkScan(g.nodes[i].scan, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return i
+		}
+	}
+	return -1
+}
+
+func runGenKill(t *testing.T, src, probe string) (factSet, *cfg) {
+	t.Helper()
+	g := buildCFG(parseBody(t, src))
+	ins := g.forward(factSet{}, genKillTransfer(g))
+	n := nodeCalling(g, probe)
+	if n < 0 {
+		t.Fatalf("no node calls %s", probe)
+	}
+	return ins[n], g
+}
+
+func TestCFGFactReachesStraightLine(t *testing.T) {
+	in, _ := runGenKill(t, `package p
+func f() { gen(); probe() }
+`, "probe")
+	if !in["f"] {
+		t.Fatalf("fact did not flow to probe: %v", in)
+	}
+}
+
+func TestCFGKillOnAllPathsClearsFact(t *testing.T) {
+	in, _ := runGenKill(t, `package p
+func f(c bool) {
+	gen()
+	if c {
+		kill()
+	} else {
+		kill()
+	}
+	probe()
+}
+`, "probe")
+	if in["f"] {
+		t.Fatalf("fact killed on both branches still present at probe: %v", in)
+	}
+}
+
+func TestCFGKillOnOnePathKeepsFact(t *testing.T) {
+	// May-analysis: the fact survives the branch that does not kill it,
+	// so the join still sees it.
+	in, _ := runGenKill(t, `package p
+func f(c bool) {
+	gen()
+	if c {
+		kill()
+	}
+	probe()
+}
+`, "probe")
+	if !in["f"] {
+		t.Fatalf("fact should survive the no-kill branch: %v", in)
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	// A fact generated in the loop body must reach the header on the
+	// back edge — the fixpoint iterates until that union stabilizes.
+	in, _ := runGenKill(t, `package p
+func f(xs []int) {
+	for probe(); cond(); {
+		gen()
+	}
+}
+`, "probe")
+	if !in["f"] {
+		t.Fatalf("loop back edge did not carry the fact to the header: %v", in)
+	}
+}
+
+func TestCFGEarlyReleasePath(t *testing.T) {
+	// The lockheld shape: kill + use on one path, kill after the join on
+	// the other. The in-branch probe must not see the fact.
+	in, _ := runGenKill(t, `package p
+func f(c bool) {
+	gen()
+	if c {
+		kill()
+		probe()
+		return
+	}
+	kill()
+}
+`, "probe")
+	if in["f"] {
+		t.Fatalf("fact killed earlier on the same path still present: %v", in)
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	src := `package p
+func f() {
+	gen()
+	return
+	probe()
+}
+`
+	g := buildCFG(parseBody(t, src))
+	ins := g.forward(factSet{}, genKillTransfer(g))
+	n := nodeCalling(g, "probe")
+	if n < 0 {
+		t.Fatal("no probe node")
+	}
+	if ins[n] != nil {
+		t.Fatalf("statement after return should be unreachable (nil in-fact), got %v", ins[n])
+	}
+}
+
+func TestCFGContinueSkipsRest(t *testing.T) {
+	// gen() sits after an unconditional continue: it never executes, so
+	// the fact never reaches the header or the probe after the loop.
+	in, _ := runGenKill(t, `package p
+func f(xs []int) {
+	for range xs {
+		continue
+		gen()
+	}
+	probe()
+}
+`, "probe")
+	if in["f"] {
+		t.Fatalf("fact from statement after continue leaked out: %v", in)
+	}
+}
+
+func TestCFGDefersRecorded(t *testing.T) {
+	src := `package p
+func f() {
+	defer a()
+	if cond() {
+		defer b()
+	}
+	probe()
+}
+`
+	g := buildCFG(parseBody(t, src))
+	if len(g.defers) != 2 {
+		t.Fatalf("defers = %d, want 2", len(g.defers))
+	}
+	first, ok := g.defers[0].Call.Fun.(*ast.Ident)
+	if !ok || first.Name != "a" {
+		t.Fatalf("defers not in source order: first is %v", g.defers[0].Call.Fun)
+	}
+}
+
+func TestCFGSwitchBranches(t *testing.T) {
+	// kill in only one case: may-analysis keeps the fact at the probe.
+	in, _ := runGenKill(t, `package p
+func f(n int) {
+	gen()
+	switch n {
+	case 1:
+		kill()
+	case 2:
+	}
+	probe()
+}
+`, "probe")
+	if !in["f"] {
+		t.Fatalf("fact should survive the non-killing case: %v", in)
+	}
+}
+
+func TestCFGGotoLoop(t *testing.T) {
+	// A goto-formed loop must still converge and carry facts backward.
+	in, _ := runGenKill(t, `package p
+func f() {
+top:
+	probe()
+	gen()
+	goto top
+}
+`, "probe")
+	if !in["f"] {
+		t.Fatalf("goto back edge did not carry the fact: %v", in)
+	}
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// longRunningPkgs is the goroutine-lifecycle scope: the daemon tiers
+// whose processes live for days. A goroutine launched there without a
+// shutdown signal outlives Close, keeps file handles and sockets
+// pinned, and turns clean restarts into leaks.
+var longRunningPkgs = []string{
+	"internal/serve",
+	"internal/wal",
+	"internal/cluster",
+	"internal/learn",
+}
+
+// GoroLeakAnalyzer flags `go` statements in the long-running packages
+// whose function shows no lifecycle signal: no select on a
+// context/done channel, no channel-close termination (comma-ok receive
+// or range over a channel), and no WaitGroup registration visible at
+// the launch site. Targets the analyzer cannot resolve to a body —
+// calls through function values from other scopes or interface
+// methods — are skipped rather than guessed at.
+func GoroLeakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroleak",
+		Doc: "flags goroutines in internal/{serve,wal,cluster,learn} with no lifecycle " +
+			"signal: no context/done-channel select, no channel-close termination, and " +
+			"no WaitGroup visible at the launch site",
+		InScope: scopePackages("goroleak", longRunningPkgs, nil),
+		Check:   checkGoroLeak,
+	}
+}
+
+func checkGoroLeak(p *Package, inScope func(*ast.File) bool, report func(pos token.Pos, msg string)) {
+	sums := p.Summaries()
+	for _, file := range p.Files {
+		if !inScope(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			launchHasAdd := containsWaitGroupCall(p, fd.Body, "Add")
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body, resolved := goTargetBody(p, sums, fd.Body, g)
+				if !resolved {
+					return true
+				}
+				if hasLifecycleSignal(p, body) {
+					return true
+				}
+				if launchHasAdd && containsWaitGroupCall(p, body, "Done") {
+					return true
+				}
+				report(g.Pos(), "goroutine has no lifecycle signal: no context/done-channel select, "+
+					"no channel-close termination, and no WaitGroup registration visible at the launch site")
+				return true
+			})
+		}
+	}
+}
+
+// goTargetBody resolves the body the go statement will run: a literal,
+// a module function or method, or a local variable bound to a literal
+// in the launching function. resolved is false when the target's body
+// is out of reach (function values from elsewhere, stdlib, interface
+// methods).
+func goTargetBody(p *Package, sums *SummaryCache, launchBody *ast.BlockStmt, g *ast.GoStmt) (*ast.BlockStmt, bool) {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body, true
+	case *ast.Ident:
+		if obj := p.Info.Uses[fun]; obj != nil {
+			if fn, ok := obj.(*types.Func); ok {
+				if _, decl := sums.declOf(fn); decl != nil && decl.Body != nil {
+					return decl.Body, true
+				}
+				return nil, false
+			}
+			// A local closure variable: find the literal it was bound to.
+			if lit := boundFuncLit(p, launchBody, obj); lit != nil {
+				return lit.Body, true
+			}
+		}
+		return nil, false
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			if _, decl := sums.declOf(fn); decl != nil && decl.Body != nil {
+				return decl.Body, true
+			}
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// boundFuncLit finds the function literal assigned to obj inside the
+// launching function (fire := func() {...}; go fire()).
+func boundFuncLit(p *Package, body *ast.BlockStmt, obj types.Object) *ast.FuncLit {
+	var lit *ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit != nil {
+			return false
+		}
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Lhs) != len(a.Rhs) {
+			return true
+		}
+		for i := range a.Lhs {
+			id, ok := a.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			def := p.Info.Defs[id]
+			if def == nil {
+				def = p.Info.Uses[id]
+			}
+			if def != obj {
+				continue
+			}
+			if l, ok := a.Rhs[i].(*ast.FuncLit); ok {
+				lit = l
+			}
+		}
+		return true
+	})
+	return lit
+}
+
+// hasLifecycleSignal scans a goroutine body for a shutdown mechanism:
+// a select with a receive case that returns (the ctx.Done()/stop-chan
+// pattern), a direct ctx.Done()/ctx.Err() consultation, a comma-ok
+// channel receive (close-to-terminate), or a range over a channel.
+func hasLifecycleSignal(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			for _, cs := range n.Body.List {
+				cc, ok := cs.(*ast.CommClause)
+				if !ok || cc.Comm == nil || !commIsReceive(cc.Comm) {
+					continue
+				}
+				if bodyReturns(cc.Body) {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if fn, ok := useOf(p.Info, n.Fun).(*types.Func); ok && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "context" && (fn.Name() == "Done" || fn.Name() == "Err") {
+				found = true
+				return false
+			}
+		case *ast.AssignStmt:
+			// v, ok := <-ch: termination is the sender closing the channel.
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if u, ok := n.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					found = true
+					return false
+				}
+			}
+		case *ast.RangeStmt:
+			if isChanExpr(p.Info, n.X) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// commIsReceive reports whether a select comm clause is a receive.
+func commIsReceive(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		u, ok := s.X.(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			u, ok := s.Rhs[0].(*ast.UnaryExpr)
+			return ok && u.Op == token.ARROW
+		}
+	}
+	return false
+}
+
+// bodyReturns reports whether a statement list contains a return or a
+// break out of the goroutine's loop — the case body actually stops.
+func bodyReturns(stmts []ast.Stmt) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				found = true
+				return false
+			case *ast.BranchStmt:
+				if n.(*ast.BranchStmt).Tok == token.BREAK {
+					found = true
+					return false
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// containsWaitGroupCall reports whether a body (literals included —
+// the registration may sit inside the launched literal) calls the
+// named sync.WaitGroup method.
+func containsWaitGroupCall(p *Package, body *ast.BlockStmt, method string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := useOf(p.Info, call.Fun).(*types.Func); ok && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "sync" && receiverTypeName(fn) == "WaitGroup" && fn.Name() == method {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -18,6 +18,21 @@
 //     seam so frozen-clock tests cover every handler; direct
 //     time.Now()/time.Since() calls bypass it.
 //
+// Four further analyzers are built on a per-function CFG and forward
+// dataflow framework (cfg.go) with memoized call-effect summaries
+// (summary.go):
+//
+//   - hotalloc: allocation sites in functions under the DESIGN §15
+//     zero-alloc contract (//ssdlint:hotpath or the scope table), with
+//     CFG-detected error paths exempt.
+//   - poolescape: sync.Pool values escaping their Get/Put ownership
+//     window, or used after Put, tracked as taint through the CFG.
+//   - lockheld: blocking operations reachable while a sync.Mutex or
+//     RWMutex is held, with defer-unlock recognized and module calls
+//     classified through the summaries.
+//   - goroleak: goroutines in the long-running daemon packages with no
+//     visible lifecycle signal.
+//
 // Findings can be suppressed inline with
 //
 //	//ssdlint:allow <analyzer> <reason>
@@ -57,6 +72,16 @@ type Package struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// loader is the Loader that produced this package; the dataflow
+	// analyzers reach the shared call-effect summary cache through it.
+	loader *Loader
+}
+
+// Summaries returns the call-effect summary cache shared by every
+// package of this loader.
+func (p *Package) Summaries() *SummaryCache {
+	return p.loader.Summaries
 }
 
 // An Analyzer is one named check. Check is only invoked for files the
@@ -79,6 +104,10 @@ func Analyzers() []*Analyzer {
 		MapOrderAnalyzer(),
 		DroppedErrAnalyzer(),
 		ClockPathAnalyzer(),
+		HotAllocAnalyzer(),
+		PoolEscapeAnalyzer(),
+		LockHeldAnalyzer(),
+		GoroLeakAnalyzer(),
 	}
 }
 

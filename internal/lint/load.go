@@ -51,6 +51,16 @@ type Loader struct {
 	Root   string
 	Module string
 
+	// Summaries is the loader-wide call-effect summary cache shared by
+	// the dataflow analyzers, memoized with the same lifetime as the
+	// package cache so a function is summarized at most once per run.
+	Summaries *SummaryCache
+
+	// Loads counts Load calls; CacheHits counts the ones answered from
+	// the memo. Re-entrant loads triggered by summary computation show
+	// up here, which is what the loader accounting tests assert on.
+	Loads, CacheHits int
+
 	std   types.ImporterFrom
 	cache map[string]*loadEntry
 }
@@ -63,13 +73,15 @@ type loadEntry struct {
 // NewLoader returns a loader for the module rooted at root.
 func NewLoader(root, module string) *Loader {
 	fset := token.NewFileSet()
-	return &Loader{
+	l := &Loader{
 		Fset:   fset,
 		Root:   root,
 		Module: module,
 		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		cache:  map[string]*loadEntry{},
 	}
+	l.Summaries = newSummaryCache(l)
+	return l
 }
 
 // Dir maps an import path inside the module to its directory.
@@ -104,7 +116,9 @@ func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.
 // are excluded: the determinism and durability contracts bind the code
 // that ships, and test-only randomness is the tests' own business.
 func (l *Loader) Load(importPath string) (*Package, error) {
+	l.Loads++
 	if e, ok := l.cache[importPath]; ok {
+		l.CacheHits++
 		return e.pkg, e.err
 	}
 	// Seed the cache entry first so import cycles fail fast instead of
@@ -152,12 +166,13 @@ func (l *Loader) loadUncached(importPath string) (*Package, error) {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
 	}
 	return &Package{
-		Path:  importPath,
-		Dir:   dir,
-		Fset:  l.Fset,
-		Files: files,
-		Pkg:   tpkg,
-		Info:  info,
+		Path:   importPath,
+		Dir:    dir,
+		Fset:   l.Fset,
+		Files:  files,
+		Pkg:    tpkg,
+		Info:   info,
+		loader: l,
 	}, nil
 }
 

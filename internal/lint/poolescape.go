@@ -1,0 +1,376 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolEscapeAnalyzer enforces the DESIGN §15 pooled-scratch ownership
+// rule: a value obtained from sync.Pool.Get (and everything
+// aliasing it) belongs to exactly one owner between Get and the paired
+// Put. It must not be stored into a struct field or package variable
+// outside itself, sent on a channel, captured by a goroutine, or
+// returned; and it must not be touched after the Put. The check is a
+// forward taint analysis over the per-function CFG: Get taints, alias-
+// producing expressions propagate, Put ends ownership.
+//
+// Only functions that both Get and Put are analyzed — accessor helpers
+// that hand a pooled value to a caller (and the callers that receive
+// it) are the caller's contract, not a mechanical one, and call results
+// are deliberately never tainted so returning an error computed from
+// pooled bytes stays legal.
+func PoolEscapeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "poolescape",
+		Doc: "flags sync.Pool values escaping their Get/Put window (field store, " +
+			"package var, channel send, return, goroutine capture) and uses after Put, " +
+			"via CFG taint tracking in functions that both Get and Put",
+		InScope: scopeAll("poolescape"),
+		Check:   checkPoolEscape,
+	}
+}
+
+// putFact marks "obj has been Put" in the dataflow facts; the taint
+// fact for the same object is the object itself.
+type putFact struct{ obj types.Object }
+
+func checkPoolEscape(p *Package, inScope func(*ast.File) bool, report func(pos token.Pos, msg string)) {
+	for _, file := range p.Files {
+		if !inScope(file) {
+			continue
+		}
+		for _, body := range funcBodies(file) {
+			if hasPoolPair(p, body) {
+				checkPoolEscapeBody(p, body, report)
+			}
+		}
+	}
+}
+
+// poolCall recognizes X.Get()/X.Put(v) on a sync.Pool receiver.
+func poolCall(p *Package, call *ast.CallExpr) (kind string) {
+	fn, ok := useOf(p.Info, call.Fun).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || receiverTypeName(fn) != "Pool" {
+		return ""
+	}
+	if n := fn.Name(); n == "Get" || n == "Put" {
+		return n
+	}
+	return ""
+}
+
+// hasPoolPair reports whether a body (literals excluded) contains both
+// a pool Get and a pool Put.
+func hasPoolPair(p *Package, body *ast.BlockStmt) bool {
+	var get, put bool
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(body) {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch poolCall(p, call) {
+			case "Get":
+				get = true
+			case "Put":
+				put = true
+			}
+		}
+		return !(get && put)
+	})
+	return get && put
+}
+
+// mayAlias reports whether a value of type t can alias pooled memory:
+// pointers, slices, maps, channels, funcs, interfaces, and aggregates
+// containing them. Basic values (including strings, which conversions
+// copy) cannot, so a float pulled out of a pooled slice is clean.
+func mayAlias(t types.Type) bool {
+	return mayAliasSeen(t, map[types.Type]bool{})
+}
+
+func mayAliasSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if mayAliasSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return mayAliasSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// exprTainted reports whether evaluating e yields a value aliasing
+// pooled memory, given the current taint facts. Call results are never
+// tainted (except the Get itself and the append builtin, which aliases
+// its first argument).
+func exprTainted(p *Package, e ast.Expr, facts factSet) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[e]
+		if obj == nil {
+			obj = p.Info.Defs[e]
+		}
+		return obj != nil && facts[obj]
+	case *ast.ParenExpr:
+		return exprTainted(p, e.X, facts)
+	case *ast.TypeAssertExpr:
+		return exprTainted(p, e.X, facts)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprTainted(p, e.X, facts)
+		}
+		return false
+	case *ast.StarExpr:
+		return exprTainted(p, e.X, facts) && mayAliasExprType(p, e)
+	case *ast.SelectorExpr:
+		return exprTainted(p, e.X, facts) && mayAliasExprType(p, e)
+	case *ast.IndexExpr:
+		return exprTainted(p, e.X, facts) && mayAliasExprType(p, e)
+	case *ast.SliceExpr:
+		return exprTainted(p, e.X, facts)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if exprTainted(p, elt, facts) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if poolCall(p, e) == "Get" {
+			return true
+		}
+		if isBuiltinAppend(p.Info, e) && len(e.Args) > 0 {
+			for _, a := range e.Args {
+				if exprTainted(p, a, facts) {
+					return true
+				}
+			}
+			return false
+		}
+		// A conversion keeps the alias for reference types (named slice
+		// types and the like); string conversions copy and basic results
+		// fail mayAlias anyway.
+		if tv, ok := p.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return exprTainted(p, e.Args[0], facts) && mayAliasExprType(p, e)
+		}
+		return false
+	}
+	return false
+}
+
+func mayAliasExprType(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && mayAlias(tv.Type)
+}
+
+// lhsRootObj resolves the object at the root of an assignment target.
+func lhsRootObj(p *Package, e ast.Expr) types.Object {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			if obj := p.Info.Defs[t]; obj != nil {
+				return obj
+			}
+			return p.Info.Uses[t]
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// assignPairs normalizes an assignment into (lhs, rhs) pairs; a
+// multi-value rhs (call, type assert, receive) pairs only its first
+// lhs, since call results and receives are never tainted and a type
+// assert's taint follows its operand.
+func assignPairs(a *ast.AssignStmt) [][2]ast.Expr {
+	var pairs [][2]ast.Expr
+	if len(a.Lhs) == len(a.Rhs) {
+		for i := range a.Lhs {
+			pairs = append(pairs, [2]ast.Expr{a.Lhs[i], a.Rhs[i]})
+		}
+	} else if len(a.Rhs) == 1 {
+		pairs = append(pairs, [2]ast.Expr{a.Lhs[0], a.Rhs[0]})
+	}
+	return pairs
+}
+
+func checkPoolEscapeBody(p *Package, body *ast.BlockStmt, report func(pos token.Pos, msg string)) {
+	g := buildCFG(body)
+
+	// applyNode folds one node's effect on the facts (pure gen/kill).
+	applyNode := func(node cfgNode, facts factSet) factSet {
+		out := facts.clone()
+		switch s := node.stmt.(type) {
+		case *ast.AssignStmt:
+			for _, pair := range assignPairs(s) {
+				lhs, rhs := pair[0], pair[1]
+				id, isIdent := lhs.(*ast.Ident)
+				if !isIdent {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if exprTainted(p, rhs, out) && mayAlias(obj.Type()) {
+					out[obj] = true
+					delete(out, any(putFact{obj}))
+				} else {
+					// Strong update: the local now holds something else.
+					delete(out, any(obj))
+					delete(out, any(putFact{obj}))
+				}
+			}
+		case *ast.RangeStmt:
+			if exprTainted(p, s.X, out) {
+				for _, v := range []ast.Expr{s.Key, s.Value} {
+					id, ok := v.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if obj := p.Info.Defs[id]; obj != nil && mayAlias(obj.Type()) {
+						out[obj] = true
+					}
+				}
+			}
+		}
+		// Put ends ownership wherever it appears in the statement —
+		// except under defer, which runs at exit.
+		if !deferredNode(node) {
+			walkScan(node.scan, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || poolCall(p, call) != "Put" || len(call.Args) != 1 {
+					return true
+				}
+				if obj := lhsRootObj(p, call.Args[0]); obj != nil && out[obj] {
+					delete(out, any(obj))
+					out[putFact{obj}] = true
+				}
+				return true
+			})
+		}
+		return out
+	}
+
+	ins := g.forward(factSet{}, func(n int, in factSet) factSet {
+		return applyNode(g.nodes[n], in)
+	})
+
+	for i, node := range g.nodes {
+		if ins[i] == nil {
+			continue
+		}
+		reportPoolEscapeNode(p, node, ins[i], report)
+	}
+}
+
+func reportPoolEscapeNode(p *Package, node cfgNode, in factSet, report func(pos token.Pos, msg string)) {
+	// Use-after-Put: any read of an object whose ownership ended.
+	// Assignment targets are writes that re-home the variable, not
+	// uses, so their root identifiers are skipped.
+	writes := map[*ast.Ident]bool{}
+	if a, ok := node.stmt.(*ast.AssignStmt); ok {
+		for _, lhs := range a.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				writes[id] = true
+			}
+		}
+	}
+	walkScan(node.scan, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || writes[id] {
+			return true
+		}
+		if obj := p.Info.Uses[id]; obj != nil && in[putFact{obj}] {
+			report(id.Pos(), fmt.Sprintf(
+				"pooled value %q used after Put; ownership ended at the Put and the pool may have handed it to another goroutine", id.Name))
+		}
+		return true
+	})
+
+	switch s := node.stmt.(type) {
+	case *ast.AssignStmt:
+		for _, pair := range assignPairs(s) {
+			lhs, rhs := pair[0], pair[1]
+			if !exprTainted(p, rhs, in) {
+				continue
+			}
+			switch l := lhs.(type) {
+			case *ast.Ident:
+				obj := p.Info.Uses[l]
+				if obj == nil {
+					obj = p.Info.Defs[l]
+				}
+				if obj != nil && obj.Parent() == p.Pkg.Scope() {
+					report(s.Pos(), fmt.Sprintf(
+						"pooled value stored in package variable %q; it outlives the Get/Put window", l.Name))
+				}
+			default:
+				root := lhsRootObj(p, lhs)
+				if root == nil || !in[root] {
+					report(s.Pos(), fmt.Sprintf(
+						"pooled value stored into %s, which is not part of the pooled object and outlives the Get/Put window",
+						exprString(p.Fset, lhs)))
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if exprTainted(p, s.Value, in) {
+			report(s.Pos(), "pooled value sent on a channel; the receiver would share it past the Put")
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if exprTainted(p, r, in) {
+				report(r.Pos(), "pooled value returned from the function that owns its Get/Put window")
+			}
+		}
+	case *ast.GoStmt:
+		escaped := false
+		for _, arg := range s.Call.Args {
+			if exprTainted(p, arg, in) {
+				escaped = true
+			}
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && !escaped {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil && in[obj] {
+						escaped = true
+						return false
+					}
+				}
+				return !escaped
+			})
+		}
+		if escaped {
+			report(s.Pos(), "pooled value captured by a goroutine; concurrent use breaks the single-owner rule")
+		}
+	}
+}

@@ -26,8 +26,25 @@ type Options struct {
 	// WriteBaseline rewrites BaselinePath with the current findings
 	// instead of failing on them.
 	WriteBaseline bool
+	// StrictBaseline makes stale baseline entries — entries matching no
+	// current finding — fail the run, so the baseline can only shrink
+	// toward its removal.
+	StrictBaseline bool
+	// ReportPath, when set, writes a JSON report with per-analyzer
+	// finding counts (fresh findings only, after suppression and
+	// baseline filtering) alongside the normal output.
+	ReportPath string
 
 	Stdout, Stderr io.Writer
+}
+
+// A Report is the machine-readable run summary written to ReportPath.
+type Report struct {
+	Analyzers []string       `json:"analyzers"`
+	Counts    map[string]int `json:"counts"` // fresh findings per analyzer
+	Total     int            `json:"total"`
+	Stale     int            `json:"stale_baseline_entries"`
+	Findings  []Finding      `json:"findings"`
 }
 
 // Exit codes: 0 clean, 1 findings, 2 usage or load failure.
@@ -51,6 +68,9 @@ func Run(opts Options) int {
 	}
 	if opts.WriteBaseline && opts.BaselinePath == "" {
 		return fail(fmt.Errorf("-write-baseline requires -baseline"))
+	}
+	if opts.StrictBaseline && opts.BaselinePath == "" {
+		return fail(fmt.Errorf("-strict-baseline requires -baseline"))
 	}
 	if len(opts.Patterns) == 0 {
 		return fail(fmt.Errorf("no packages named; try ./..."))
@@ -115,6 +135,7 @@ func Run(opts Options) int {
 	}
 
 	fresh := findings
+	staleCount := 0
 	if opts.BaselinePath != "" {
 		baseline, err := LoadBaseline(opts.BaselinePath)
 		if err != nil {
@@ -122,8 +143,15 @@ func Run(opts Options) int {
 		}
 		var stale []string
 		fresh, stale = baseline.Filter(findings)
+		staleCount = len(stale)
 		for _, s := range stale {
 			fmt.Fprintf(opts.Stderr, "ssdlint: stale baseline entry (removable): %s\n", s)
+		}
+	}
+
+	if opts.ReportPath != "" {
+		if err := writeReport(opts.ReportPath, fresh, staleCount); err != nil {
+			return fail(err)
 		}
 	}
 
@@ -146,7 +174,37 @@ func Run(opts Options) int {
 		fmt.Fprintf(opts.Stderr, "ssdlint: %d finding%s\n", len(fresh), plural(len(fresh), "", "s"))
 		return ExitFindings
 	}
+	if opts.StrictBaseline && staleCount > 0 {
+		fmt.Fprintf(opts.Stderr, "ssdlint: %d stale baseline entr%s under -strict-baseline; "+
+			"remove them (or rerun with -write-baseline)\n", staleCount, plural(staleCount, "y", "ies"))
+		return ExitFindings
+	}
 	return ExitClean
+}
+
+// writeReport writes the per-analyzer summary consumed by CI.
+func writeReport(path string, fresh []Finding, stale int) error {
+	r := Report{
+		Analyzers: AnalyzerNames(),
+		Counts:    map[string]int{},
+		Total:     len(fresh),
+		Stale:     stale,
+		Findings:  fresh,
+	}
+	if r.Findings == nil {
+		r.Findings = []Finding{}
+	}
+	for _, name := range r.Analyzers {
+		r.Counts[name] = 0
+	}
+	for _, f := range fresh {
+		r.Counts[f.Analyzer]++
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func plural(n int, one, many string) string {

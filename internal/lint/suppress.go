@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"strings"
 )
@@ -12,6 +13,11 @@ type allowDirective struct {
 	Line     int
 	Analyzer string
 	Reason   string
+	// EndLine extends the directive's coverage: when the directive sits
+	// in a function declaration's doc comment, it covers every line of
+	// that function's body (Line..EndLine). Zero for ordinary inline
+	// directives, which cover only their own line and the next.
+	EndLine int
 }
 
 const allowPrefix = "//ssdlint:allow"
@@ -71,17 +77,50 @@ func collectAllows(p *Package, known map[string]bool, rel func(string) string) (
 			}
 		}
 	}
+	extendFuncLevelAllows(p, rel, allows)
 	return allows, misuse
+}
+
+// extendFuncLevelAllows widens directives that live in a function
+// declaration's doc comment to cover the whole declaration: helpers
+// like the WAL's flushLocked are blocking-under-lock by documented
+// design, and one reasoned directive on the declaration beats one per
+// line. The allow-aware call summaries rely on the same range.
+func extendFuncLevelAllows(p *Package, rel func(string) string, allows []allowDirective) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			docStart := p.Fset.Position(fd.Doc.Pos()).Line
+			declLine := p.Fset.Position(fd.Pos()).Line
+			endLine := p.Fset.Position(fd.End()).Line
+			file := rel(p.Fset.Position(fd.Pos()).Filename)
+			for i := range allows {
+				a := &allows[i]
+				if a.File == file && a.Line >= docStart && a.Line <= declLine {
+					a.EndLine = endLine
+				}
+			}
+		}
+	}
 }
 
 // suppressed reports whether a finding is covered by an allow
 // directive: same file, same analyzer, and the directive sits on the
-// finding's line (trailing comment) or the line above (standalone
-// comment).
+// finding's line (trailing comment), the line above (standalone
+// comment), or — for directives in a function's doc comment — anywhere
+// in that function's declaration.
 func suppressed(f Finding, allows []allowDirective) bool {
 	for _, a := range allows {
-		if a.Analyzer == f.Analyzer && a.File == f.File &&
-			(a.Line == f.Line || a.Line == f.Line-1) {
+		if a.Analyzer != f.Analyzer || a.File != f.File {
+			continue
+		}
+		if a.Line == f.Line || a.Line == f.Line-1 {
+			return true
+		}
+		if a.EndLine > 0 && a.Line <= f.Line && f.Line <= a.EndLine {
 			return true
 		}
 	}

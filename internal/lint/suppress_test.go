@@ -100,19 +100,46 @@ func Stamp() time.Time {
 }
 
 func TestAllowWrongLineDoesNotSuppress(t *testing.T) {
+	// A detached directive — blank line between it and the function, so
+	// it is not the function's doc comment — must not suppress anything.
+	// (Inside a doc comment it would be a deliberate function-level
+	// allow; see TestFuncLevelAllowCoversBody.)
 	code, stdout, _ := runOnModule(t, map[string]string{
 		"internal/fleetsim/clock.go": `package fleetsim
 
 import "time"
 
-//ssdlint:allow nondeterminism directive is three lines above the read
-// padding
-// padding
+//ssdlint:allow nondeterminism directive is detached from the function below
+
 func Stamp() time.Time { return time.Now() }
 `,
 	}, Options{})
 	if code != ExitFindings {
-		t.Fatalf("exit = %d, want findings (directive too far from the read)\n%s", code, stdout)
+		t.Fatalf("exit = %d, want findings (directive detached from the read)\n%s", code, stdout)
+	}
+}
+
+func TestFuncLevelAllowCoversBody(t *testing.T) {
+	// A directive inside the function's doc comment is a function-level
+	// allow: it covers every finding of that analyzer in the body, even
+	// lines far from the directive.
+	code, stdout, _ := runOnModule(t, map[string]string{
+		"internal/fleetsim/clock.go": `package fleetsim
+
+import "time"
+
+// Stamp reads the wall clock on purpose.
+//
+//ssdlint:allow nondeterminism test fixture: whole function runs off-pipeline
+func Stamp() time.Time {
+	a := time.Now()
+	b := time.Now()
+	return a.Add(time.Since(b))
+}
+`,
+	}, Options{})
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want clean (doc-comment directive covers the body)\n%s", code, stdout)
 	}
 }
 

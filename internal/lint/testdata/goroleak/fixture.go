@@ -1,0 +1,101 @@
+// Package goroleak is the analyzer fixture: goroutines in long-running
+// packages need a visible lifecycle signal — a context/done-channel
+// select, channel-close termination, or WaitGroup registration.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+type daemon struct {
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	tasks chan int
+}
+
+func work() {}
+
+func (d *daemon) leak() {
+	go func() { // want "no lifecycle signal"
+		for {
+			work()
+		}
+	}()
+}
+
+func (d *daemon) ctxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-d.tasks:
+				_ = t
+			}
+		}
+	}()
+}
+
+func (d *daemon) closeTerminated() {
+	go func() {
+		for {
+			t, ok := <-d.tasks
+			if !ok {
+				return
+			}
+			_ = t
+		}
+	}()
+}
+
+func (d *daemon) ranged() {
+	go func() {
+		for t := range d.tasks {
+			_ = t
+		}
+	}()
+}
+
+func (d *daemon) waitGrouped() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		for t := range d.tasks {
+			_ = t
+		}
+	}()
+}
+
+// run loops forever with no shutdown path; flagged at each launch site.
+func (d *daemon) run() {
+	for {
+		work()
+	}
+}
+
+func (d *daemon) namedLeak() {
+	go d.run() // want "no lifecycle signal"
+}
+
+func (d *daemon) localClosure() {
+	fire := func() {
+		for {
+			work()
+		}
+	}
+	go fire() // want "no lifecycle signal"
+}
+
+func (d *daemon) stopChan() {
+	go func() {
+		for {
+			select {
+			case <-d.stop:
+				return
+			case t := <-d.tasks:
+				_ = t
+			}
+		}
+	}()
+}

@@ -1,0 +1,108 @@
+// Package lockheld is the analyzer fixture: blocking operations must
+// not be reachable while a mutex is held, with the CFG telling
+// released-on-this-path apart from held-into-the-call.
+package lockheld
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	ch   chan int
+	data []byte
+}
+
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *server) fileUnderDeferredUnlock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := os.ReadFile("x") // want "os.ReadFile while s.mu is held"
+	return err
+}
+
+func (s *server) releasedFirst() {
+	s.mu.Lock()
+	s.data = append(s.data[:0], 1)
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+func (s *server) releasedOnThisPath(c bool) {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) readLockSend(v int) {
+	s.rw.RLock()
+	s.ch <- v // want "channel send while s.rw is held"
+	s.rw.RUnlock()
+}
+
+func (s *server) selectWithDefault() {
+	s.mu.Lock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) selectNoDefault() {
+	s.mu.Lock()
+	select { // want "blocking select"
+	case v := <-s.ch:
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) condWait() {
+	s.mu.Lock()
+	for len(s.data) == 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// flush blocks on file I/O; lock-free itself, but callers holding a
+// lock are flagged through the call-effect summary.
+func (s *server) flush() error {
+	return os.WriteFile("x", s.data, 0o644)
+}
+
+func (s *server) flushUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flush() // want "call to flush"
+}
+
+// flushAllowed writes under the caller's lock by documented design;
+// the function-level directive keeps the summary, and so every
+// caller, clean.
+//
+//ssdlint:allow lockheld fixture: write-under-lock is this helper's documented contract
+func (s *server) flushAllowed() error {
+	return os.WriteFile("x", s.data, 0o644)
+}
+
+func (s *server) allowedCaller() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushAllowed()
+}

@@ -1,0 +1,92 @@
+// Package poolescape is the analyzer fixture for the pooled-scratch
+// ownership rule: a sync.Pool value belongs to one owner between Get
+// and Put, must not escape, and is untouchable after the Put.
+package poolescape
+
+import "sync"
+
+type scratch struct {
+	buf  []byte
+	vals []int
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+type holder struct{ last *scratch }
+
+var global *scratch
+
+var globalBuf []byte
+
+// ok exercises the legal shapes: writes into the pooled object itself,
+// basic-value copies out of it, and a paired Put.
+func ok() int {
+	s := pool.Get().(*scratch)
+	s.buf = append(s.buf[:0], 'a')
+	n := len(s.buf)
+	pool.Put(s)
+	return n
+}
+
+// deferred keeps the pooled value for the whole body via defer.
+func deferred() int {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	s.vals = s.vals[:0]
+	return cap(s.vals)
+}
+
+func fieldEscape(h *holder) {
+	s := pool.Get().(*scratch)
+	h.last = s // want "stored into h.last"
+	pool.Put(s)
+}
+
+func globalEscape() {
+	s := pool.Get().(*scratch)
+	global = s // want "package variable"
+	pool.Put(s)
+}
+
+func derivedEscape() {
+	s := pool.Get().(*scratch)
+	b := s.buf[:0]
+	globalBuf = b // want "package variable"
+	pool.Put(s)
+}
+
+func chanEscape(ch chan *scratch) {
+	s := pool.Get().(*scratch)
+	ch <- s // want "sent on a channel"
+	pool.Put(s)
+}
+
+func returnEscape() []byte {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	return s.buf // want "pooled value returned"
+}
+
+func goEscape() {
+	s := pool.Get().(*scratch)
+	go func() { // want "captured by a goroutine"
+		_ = s.buf
+	}()
+	pool.Put(s)
+}
+
+func useAfterPut() int {
+	s := pool.Get().(*scratch)
+	pool.Put(s)
+	return len(s.buf) // want "used after Put"
+}
+
+// allowed shows a reasoned suppression: handing the pooled value to a
+// same-package helper that completes before return is accepted here.
+func allowed(h *holder) {
+	s := pool.Get().(*scratch)
+	//ssdlint:allow poolescape fixture: the holder is cleared before Put below
+	h.last = s
+	h.last = nil
+	pool.Put(s)
+}

@@ -250,13 +250,12 @@ func BenchmarkBinBatchProcess(b *testing.B) {
 	ctx := b.Context()
 	run := func() {
 		l.step()
-		st := s.binStates.Get().(*binState)
-		res := s.processBinBatch(ctx, l.body, st)
-		st.renderBinReply(res)
+		st := s.acquireBinState()
+		res := s.runBinBatch(ctx, l.body, st)
 		if res.code != http.StatusAccepted {
 			panic(fmt.Sprintf("status %d: %s", res.code, st.resp))
 		}
-		s.binStates.Put(st)
+		s.releaseBinState(st)
 	}
 	for i := 0; i < 32; i++ {
 		run()

@@ -286,14 +286,13 @@ func TestBinaryIngestSteadyStateAllocs(t *testing.T) {
 					binary.LittleEndian.PutUint32(p[9:], binary.LittleEndian.Uint32(p[9:])+1)
 					binary.LittleEndian.PutUint32(body[off+4:], trace.FrameCRC(p))
 				}
-				st := s.binStates.Get().(*binState)
-				res := s.processBinBatch(ctx, body, st)
-				st.renderBinReply(res)
+				st := s.acquireBinState()
+				res := s.runBinBatch(ctx, body, st)
 				if fail == "" && (res.code != http.StatusAccepted || res.accepted != n || res.rejected != 0) {
 					fail = fmt.Sprintf("batch not cleanly accepted: code=%d accepted=%d rejected=%d resp=%s",
 						res.code, res.accepted, res.rejected, st.resp)
 				}
-				s.binStates.Put(st)
+				s.releaseBinState(st)
 			}
 
 			// Warm until the history rings are full (shifts in place from
@@ -406,10 +405,9 @@ func FuzzDecodeIngestFrame(f *testing.F) {
 	f.Add(flags)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		st := s.binStates.Get().(*binState)
-		defer s.binStates.Put(st)
-		res := s.processBinBatch(context.Background(), data, st)
-		st.renderBinReply(res)
+		st := s.acquireBinState()
+		defer s.releaseBinState(st)
+		res := s.runBinBatch(context.Background(), data, st)
 		if !json.Valid(st.resp) {
 			t.Fatalf("reply is not valid JSON: %q", st.resp)
 		}

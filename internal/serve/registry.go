@@ -58,8 +58,9 @@ func NewRegistry(path string, now func() time.Time) *Registry {
 // model must report a feature width matching the serving pipeline's
 // standard row layout — a width mismatch would panic at score time.
 func (r *Registry) Load() (ModelInfo, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	// Read, decode, and validate before taking the lock: the mutex only
+	// serializes the version bump and publish, and a slow disk must not
+	// stall a concurrent reload's error return.
 	data, err := os.ReadFile(r.path)
 	if err != nil {
 		return ModelInfo{}, fmt.Errorf("serve: reading model: %w", err)
@@ -74,6 +75,8 @@ func (r *Registry) Load() (ModelInfo, error) {
 			w, dataset.NumFeatures)
 	}
 	sum := sha256.Sum256(data)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	version := 1
 	if old := r.cur.Load(); old != nil {
 		version = old.info.Version + 1
